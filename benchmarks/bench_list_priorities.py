@@ -1,0 +1,56 @@
+"""Benchmark E6 — LIST priority-rule ablation.
+
+The paper's LIST picks the ready task with the smallest earliest starting
+time; its analysis needs exactly that rule.  This bench sweeps classic
+alternatives (critical-path/HLF, LPT, widest-first, FIFO) over the same
+phase-1 allotments and measures the spread.  Expected shape (asserted):
+the paper's rule is competitive — within a few percent of the best rule on
+average — so the guarantee costs essentially nothing empirically.
+
+Run:  pytest benchmarks/bench_list_priorities.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.core import (
+    PRIORITY_RULES,
+    jz_parameters,
+    list_schedule_with_priority,
+    round_fractional_times,
+    solve_allotment_lp,
+)
+from repro.workloads import make_instance
+
+FAMILIES = ["layered", "cholesky", "fork_join", "stencil"]
+M = 8
+
+
+def sweep():
+    params = jz_parameters(M)
+    totals = {p: 0.0 for p in PRIORITY_RULES}
+    runs = 0
+    for family in FAMILIES:
+        for seed in range(3):
+            inst = make_instance(family, 28, M, model="power", seed=seed)
+            lp = solve_allotment_lp(inst)
+            alloc = round_fractional_times(inst, lp.x, params.rho)
+            for p in PRIORITY_RULES:
+                s = list_schedule_with_priority(
+                    inst, alloc, mu=params.mu, priority=p
+                )
+                totals[p] += s.makespan / lp.objective
+            runs += 1
+    return {p: totals[p] / runs for p in PRIORITY_RULES}, runs
+
+
+def test_priority_ablation(benchmark, capsys):
+    means, runs = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    best = min(means.values())
+    paper = means["earliest-start"]
+    assert paper <= best * 1.05  # the paper's rule is near-best
+    with capsys.disabled():
+        print()
+        print(f"=== E6: LIST priority rules (mean Cmax/C*, {runs} runs) ===")
+        for p, v in sorted(means.items(), key=lambda kv: kv[1]):
+            marker = "  <- paper (Table 1)" if p == "earliest-start" else ""
+            print(f"{p:>24}: {v:.4f}{marker}")

@@ -1,0 +1,68 @@
+"""Benchmark E5 — phase-1 formulations: direct LP (9) vs the avoided
+binary-search reduction of [18] (the Remark at the end of Section 3.1).
+
+The paper's claim, measured: embedding ``L <= C`` and ``W/m <= C`` in one
+LP gives the same allotment quality as the bicriteria binary search while
+solving a *single* LP instead of one per search step.
+
+Run:  pytest benchmarks/bench_phase1_variants.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.core import (
+    bsearch_allotment,
+    jz_parameters,
+    list_schedule,
+    solve_allotment_lp,
+)
+from repro.workloads import make_instance
+
+
+def test_same_quality_fewer_solves(benchmark, capsys):
+    inst = make_instance("layered", 24, 8, model="power", seed=13)
+    rho = jz_parameters(8).rho
+
+    direct = solve_allotment_lp(inst)
+    rep = benchmark.pedantic(
+        bsearch_allotment, args=(inst, rho), rounds=2, iterations=1
+    )
+    assert rep.objective == pytest.approx(direct.objective, rel=1e-3)
+    assert rep.lp_solves >= 5
+    with capsys.disabled():
+        print()
+        print("=== E5: phase-1 formulations ===")
+        print(f"direct LP (9): objective {direct.objective:.4f}, 1 solve")
+        print(
+            f"binary search: objective {rep.objective:.4f}, "
+            f"{rep.lp_solves} solves"
+        )
+        print("same allotment quality; the Remark's saving is the solves")
+
+
+def test_end_to_end_parity(benchmark, capsys):
+    """Both phase-1 variants feed LIST; final makespans are comparable."""
+
+    def run_both():
+        out = []
+        for seed in range(3):
+            inst = make_instance("cholesky", 35, 8, model="power", seed=seed)
+            params = jz_parameters(8)
+            direct = solve_allotment_lp(inst)
+            from repro.core import round_fractional_times
+
+            a1 = round_fractional_times(inst, direct.x, params.rho)
+            s1 = list_schedule(inst, a1, mu=params.mu)
+            rep = bsearch_allotment(inst, params.rho)
+            s2 = list_schedule(inst, rep.allotment, mu=params.mu)
+            out.append((s1.makespan, s2.makespan, direct.objective))
+        return out
+
+    rows = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print("=== E5: end-to-end makespans, direct vs binary search ===")
+        for k, (m1, m2, lb) in enumerate(rows):
+            print(f"seed {k}: direct {m1:.2f}  bsearch {m2:.2f}  C* {lb:.2f}")
+    for m1, m2, lb in rows:
+        assert abs(m1 - m2) <= 0.25 * min(m1, m2)  # comparable quality

@@ -1,0 +1,11 @@
+"""Thin setup.py shim.
+
+All metadata lives in pyproject.toml; this file exists so that
+``python setup.py develop`` works on environments whose setuptools lacks
+the ``wheel`` package required for PEP 660 editable installs (e.g. offline
+machines).  ``pip install -e . --no-build-isolation`` uses it the same way.
+"""
+
+from setuptools import setup
+
+setup()

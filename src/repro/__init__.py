@@ -1,0 +1,77 @@
+"""repro — reproduction of Jansen & Zhang, *Scheduling malleable tasks with
+precedence constraints* (SPAA 2005 / JCSS 78 (2012) 245–259).
+
+Public API overview
+-------------------
+
+Model building::
+
+    from repro import MalleableTask, Instance, Dag
+    from repro.models import power_law_profile
+    from repro.dag import cholesky_dag
+
+Solving::
+
+    from repro import jz_schedule
+    result = jz_schedule(instance)          # the paper's 3.2919-approx alg.
+    result.schedule.makespan
+    result.certificate.lower_bound          # LP (9) optimum  <= OPT
+    result.certificate.ratio_bound          # proven r(m) of Theorem 4.1
+
+Theory (Tables 2/3/4 and the asymptotics of Section 4.3) lives in
+:mod:`repro.theory`; baselines (Lepère–Trystram–Woeginger and naive
+schedulers, plus an exact branch-and-bound for tiny instances) live in
+:mod:`repro.baselines`.
+"""
+
+from .core import (
+    AssumptionError,
+    Instance,
+    JZCertificate,
+    JZParameters,
+    JZResult,
+    MalleableTask,
+    extract_heavy_path,
+    jz_parameters,
+    jz_schedule,
+    list_schedule,
+    ratio_bound,
+    solve_allotment_lp,
+)
+from .bounds import LowerBounds, lower_bounds
+from .dag import Dag
+from .schedule import (
+    Schedule,
+    ScheduledTask,
+    assert_feasible,
+    render_gantt,
+    simulate,
+    validate_schedule,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AssumptionError",
+    "Dag",
+    "Instance",
+    "JZCertificate",
+    "JZParameters",
+    "JZResult",
+    "LowerBounds",
+    "MalleableTask",
+    "Schedule",
+    "ScheduledTask",
+    "assert_feasible",
+    "extract_heavy_path",
+    "jz_parameters",
+    "jz_schedule",
+    "list_schedule",
+    "lower_bounds",
+    "ratio_bound",
+    "render_gantt",
+    "simulate",
+    "solve_allotment_lp",
+    "validate_schedule",
+    "__version__",
+]

@@ -1,0 +1,129 @@
+"""Instance and schedule analytics for reports and benchmarks.
+
+Summarizes the structural quantities the scheduling literature reasons
+about: DAG width/depth, the average parallelism ``W/L`` (how many
+processors the workload can actually keep busy), task malleability
+statistics, and per-schedule summaries combining makespan, bounds and
+utilization.  Used by the benchmark harness to label result tables and by
+the examples to explain *why* a family behaves the way it does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from .core.instance import Instance
+from .schedule import Schedule, average_utilization
+
+__all__ = [
+    "InstanceStats",
+    "instance_stats",
+    "ScheduleSummary",
+    "summarize_schedule",
+    "parallelism_profile",
+]
+
+
+@dataclass(frozen=True)
+class InstanceStats:
+    """Structural summary of a scheduling instance."""
+
+    n_tasks: int
+    n_edges: int
+    m: int
+    depth: int  #: longest chain (task count)
+    width: int  #: largest antichain-ish layer (max tasks at equal depth)
+    avg_parallelism: float  #: W(1) / L(1): sequential work / serial path
+    total_seq_work: float  #: Σ p_j(1)
+    mean_max_speedup: float  #: mean over tasks of s_j(m)
+    malleability: float  #: mean of p(1)/p(m) normalized by m (1 = linear)
+
+
+def instance_stats(instance: Instance) -> InstanceStats:
+    """Compute :class:`InstanceStats` for ``instance``."""
+    dag = instance.dag
+    n = instance.n_tasks
+    # Depth index per node = longest unit path ending at it.
+    depth_of = [0] * n
+    for v in dag.topological_order():
+        preds = dag.predecessors(v)
+        depth_of[v] = 1 + max((depth_of[p] for p in preds), default=0)
+    depth = max(depth_of, default=0)
+    width = 0
+    counts: Dict[int, int] = {}
+    for d in depth_of:
+        counts[d] = counts.get(d, 0) + 1
+        width = max(width, counts[d])
+
+    seq_work = instance.min_total_work()
+    seq_path = dag.longest_path_length(
+        [t.max_time for t in instance.tasks]
+    )
+    speedups = [t.speedup(instance.m) for t in instance.tasks]
+    mean_speedup = sum(speedups) / n if n else 0.0
+    return InstanceStats(
+        n_tasks=n,
+        n_edges=dag.n_edges,
+        m=instance.m,
+        depth=depth,
+        width=width,
+        avg_parallelism=(seq_work / seq_path) if seq_path > 0 else 0.0,
+        total_seq_work=seq_work,
+        mean_max_speedup=mean_speedup,
+        malleability=(mean_speedup / instance.m) if n else 0.0,
+    )
+
+
+@dataclass(frozen=True)
+class ScheduleSummary:
+    """One-line quality summary of a schedule against its instance."""
+
+    makespan: float
+    total_work: float
+    utilization: float
+    lower_bound: float  #: trivial combinatorial bound (no LP solve)
+    ratio_vs_trivial: float
+
+
+def summarize_schedule(
+    instance: Instance, schedule: Schedule
+) -> ScheduleSummary:
+    """Summarize ``schedule`` (uses only the cheap combinatorial bound so
+    it is safe to call in tight loops)."""
+    lb = instance.trivial_lower_bound()
+    return ScheduleSummary(
+        makespan=schedule.makespan,
+        total_work=schedule.total_work,
+        utilization=average_utilization(schedule),
+        lower_bound=lb,
+        ratio_vs_trivial=schedule.makespan / lb if lb > 0 else 1.0,
+    )
+
+
+def parallelism_profile(
+    schedule: Schedule, n_bins: int = 20
+) -> List[float]:
+    """Average busy-processor count over ``n_bins`` equal time bins —
+    the data behind utilization-over-time plots."""
+    from .schedule import busy_profile
+
+    makespan = schedule.makespan
+    if makespan <= 0 or n_bins <= 0:
+        return []
+    prof = busy_profile(schedule)
+    # Integrate the step function over each bin.
+    out = []
+    bin_w = makespan / n_bins
+    seg = 0
+    for b in range(n_bins):
+        lo, hi = b * bin_w, (b + 1) * bin_w
+        area = 0.0
+        for k, (t, busy) in enumerate(prof):
+            end = prof[k + 1][0] if k + 1 < len(prof) else makespan
+            a = max(lo, t)
+            z = min(hi, end)
+            if z > a:
+                area += busy * (z - a)
+        out.append(area / bin_w)
+    return out

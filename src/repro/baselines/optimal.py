@@ -1,0 +1,182 @@
+"""Exact optimal scheduler for tiny instances (branch and bound).
+
+Used by the test suite and the empirical benchmarks to measure *true*
+approximation ratios ``C_max / OPT`` on instances small enough to solve
+exactly.  The search branches chronologically:
+
+* a *state* is (current time, set of running tasks with finish times, set
+  of completed tasks);
+* at each decision point the search branches over which ready task to
+  start **and** its allotment ``l ∈ {1..m}`` (the profile's canonical
+  breakpoints only — intermediate counts are dominated), or over advancing
+  time to the next finish event;
+* pruning uses the incumbent and the lower bound
+  ``current_time_candidate + remaining critical path (all-m times)`` and a
+  work-volume bound.
+
+Non-preemptive multiprocessor scheduling can require *inserted idle time*
+(active schedules are not dominant), so the search deliberately allows
+"wait for the next event" even when tasks could start — this keeps it
+exact at the cost of a larger tree.  Complexity is exponential; the guard
+raises for instances beyond a configurable budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..core.instance import Instance
+from ..schedule import Schedule, ScheduledTask
+
+__all__ = ["optimal_schedule", "optimal_makespan", "SearchBudgetExceeded"]
+
+
+class SearchBudgetExceeded(RuntimeError):
+    """The instance is too large for exact search under the given budget."""
+
+
+@dataclass
+class _Best:
+    makespan: float
+    entries: Optional[Tuple[ScheduledTask, ...]]
+
+
+def optimal_makespan(
+    instance: Instance, max_nodes: int = 2_000_000
+) -> float:
+    """Exact optimal makespan (see :func:`optimal_schedule`)."""
+    return optimal_schedule(instance, max_nodes=max_nodes).makespan
+
+
+def optimal_schedule(
+    instance: Instance, max_nodes: int = 2_000_000
+) -> Schedule:
+    """Compute an optimal schedule by branch and bound.
+
+    Raises :class:`SearchBudgetExceeded` when more than ``max_nodes``
+    search nodes would be expanded — callers should keep ``n <= 8`` and
+    ``m <= 8`` or so.
+    """
+    n = instance.n_tasks
+    m = instance.m
+    dag = instance.dag
+
+    if n == 0:
+        return Schedule(m, [])
+
+    # Remaining-critical-path lower bound per task (all-m, fastest times).
+    fast = [instance.task(j).min_time for j in range(n)]
+    tail = [0.0] * n  # longest fast path starting at j (inclusive)
+    for j in reversed(dag.topological_order()):
+        succ_best = max(
+            (tail[s] for s in dag.successors(j)), default=0.0
+        )
+        tail[j] = fast[j] + succ_best
+    min_work = [instance.task(j).sequential_work for j in range(n)]
+
+    # Upper bound seed: list schedule with all-ones allotment.
+    from ..core.list_scheduler import list_schedule
+
+    seed = list_schedule(instance, [1] * n, mu=None)
+    best = _Best(makespan=seed.makespan, entries=tuple(seed.entries))
+
+    nodes = 0
+
+    def candidates(j: int) -> List[int]:
+        # Canonical breakpoints only: any other count is dominated (same or
+        # slower time with more processors).
+        return [l for (l, _t) in instance.task(j).breakpoints if l <= m]
+
+    def search(
+        time: float,
+        running: Tuple[Tuple[int, float, int], ...],  # (task, finish, procs)
+        done: FrozenSet[int],
+        placed: Dict[int, ScheduledTask],
+        min_task: int,
+    ) -> None:
+        nonlocal nodes
+        nodes += 1
+        if nodes > max_nodes:
+            raise SearchBudgetExceeded(
+                f"exceeded {max_nodes} B&B nodes on n={n}, m={m}"
+            )
+        all_assigned = len(placed) == n
+        if all_assigned:
+            ms = max(e.end for e in placed.values())
+            if ms < best.makespan - 1e-12:
+                best.makespan = ms
+                best.entries = tuple(placed.values())
+            return
+
+        # Bounds.
+        lb_path = time
+        for j in range(n):
+            if j not in placed:
+                ready_lb = time
+                lb_path = max(lb_path, ready_lb + tail[j])
+        run_finish = max((f for (_j, f, _p) in running), default=time)
+        lb = max(lb_path, run_finish)
+        # Work bound: everything unplaced needs at least its sequential
+        # work; running tasks occupy their processors until they finish.
+        rem_work = sum(min_work[j] for j in range(n) if j not in placed)
+        busy_tail = sum(
+            (f - time) * p for (j_, f, p) in running if f > time
+        )
+        lb = max(lb, time + (rem_work + busy_tail) / m)
+        if lb >= best.makespan - 1e-12:
+            return
+
+        free = m - sum(p for (_j, _f, p) in running)
+        ready = [
+            j
+            for j in range(n)
+            if j not in placed
+            and all(
+                p in done or (p in placed and placed[p].end <= time + 1e-12)
+                for p in dag.predecessors(j)
+            )
+        ]
+
+        # Symmetry breaking: tasks started at the same instant commute, so
+        # force increasing task-id order among same-time starts.
+        branched = False
+        for j in sorted(ready):
+            if j < min_task:
+                continue
+            for l in candidates(j):
+                if l > free:
+                    continue
+                dur = instance.task(j).time(l)
+                ent = ScheduledTask(
+                    task=j, start=time, processors=l, duration=dur
+                )
+                placed[j] = ent
+                search(
+                    time,
+                    running + ((j, time + dur, l),),
+                    done,
+                    placed,
+                    j + 1,
+                )
+                del placed[j]
+                branched = True
+
+        # Advance to the next finish event (also required when nothing fits,
+        # and *allowed* even when something fits — inserted idle time can be
+        # optimal for multiprocessor tasks).
+        if running:
+            next_t = min(f for (_j, f, _p) in running)
+            still = tuple(
+                (j, f, p) for (j, f, p) in running if f > next_t + 1e-12
+            )
+            newly_done = frozenset(
+                j for (j, f, _p) in running if f <= next_t + 1e-12
+            )
+            search(next_t, still, done | newly_done, placed, 0)
+        elif not branched:  # pragma: no cover - cannot happen on a DAG
+            raise RuntimeError("deadlock in exact search")
+
+    search(0.0, (), frozenset(), {}, 0)
+    assert best.entries is not None
+    return Schedule(m, best.entries)

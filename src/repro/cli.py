@@ -1,0 +1,204 @@
+"""Command-line interface.
+
+``python -m repro <command>`` (or the ``repro-sched`` console script):
+
+* ``demo``       — build a random instance, run the JZ algorithm, print a
+  Gantt chart and the certificate.
+* ``solve``      — solve an instance JSON file; optionally write the
+  schedule JSON and print a Gantt chart.
+* ``tables``     — print the paper's Table 2 / 3 / 4, regenerated.
+* ``params``     — print ρ(m), μ(m), r(m) for a machine size.
+* ``generate``   — emit a workload instance JSON to stdout or a file.
+* ``validate``   — check a schedule JSON against an instance JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    p = argparse.ArgumentParser(
+        prog="repro-sched",
+        description=(
+            "Scheduling malleable tasks with precedence constraints "
+            "(Jansen & Zhang, SPAA 2005) — reproduction toolkit"
+        ),
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    d = sub.add_parser("demo", help="run the algorithm on a random instance")
+    d.add_argument("--family", default="layered")
+    d.add_argument("--size", type=int, default=24)
+    d.add_argument("-m", "--processors", type=int, default=8)
+    d.add_argument("--model", default="power")
+    d.add_argument("--seed", type=int, default=0)
+
+    s = sub.add_parser("solve", help="solve an instance JSON file")
+    s.add_argument("instance", help="path to instance JSON")
+    s.add_argument("-o", "--output", help="write schedule JSON here")
+    s.add_argument("--gantt", action="store_true", help="print ASCII Gantt")
+    s.add_argument(
+        "--algorithm",
+        default="jz",
+        choices=["jz", "ltw", "sequential", "full", "greedy"],
+    )
+
+    t = sub.add_parser("tables", help="regenerate the paper's tables")
+    t.add_argument("which", type=int, choices=[2, 3, 4])
+    t.add_argument("--m-max", type=int, default=33)
+
+    pa = sub.add_parser("params", help="print rho(m), mu(m), r(m)")
+    pa.add_argument("m", type=int)
+
+    g = sub.add_parser("generate", help="emit a workload instance JSON")
+    g.add_argument("--family", default="layered")
+    g.add_argument("--size", type=int, default=24)
+    g.add_argument("-m", "--processors", type=int, default=8)
+    g.add_argument("--model", default="power")
+    g.add_argument("--seed", type=int, default=0)
+    g.add_argument("-o", "--output", help="write here instead of stdout")
+
+    v = sub.add_parser("validate", help="validate schedule vs instance")
+    v.add_argument("instance")
+    v.add_argument("schedule")
+    return p
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from . import jz_schedule, render_gantt
+    from .workloads import make_instance
+
+    inst = make_instance(
+        args.family, args.size, args.processors,
+        model=args.model, seed=args.seed,
+    )
+    res = jz_schedule(inst)
+    cert = res.certificate
+    print(f"instance      : {inst!r}")
+    print(
+        f"parameters    : rho={cert.parameters.rho:g} "
+        f"mu={cert.parameters.mu} r(m)={cert.parameters.ratio:.4f}"
+    )
+    print(f"LP bound C*   : {cert.lower_bound:.4f}")
+    print(f"makespan      : {res.makespan:.4f}")
+    print(f"observed ratio: {res.observed_ratio:.4f} (proven <= "
+          f"{cert.ratio_bound:.4f})")
+    print(render_gantt(res.schedule))
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    from . import jz_schedule, render_gantt
+    from .baselines import (
+        full_allotment_schedule,
+        greedy_critical_path_schedule,
+        ltw_schedule,
+        sequential_allotment_schedule,
+    )
+    from .io import load_instance, save_schedule
+
+    inst = load_instance(args.instance)
+    if args.algorithm == "jz":
+        res = jz_schedule(inst)
+        sched = res.schedule
+        print(
+            f"makespan={res.makespan:.6g}  C*={res.certificate.lower_bound:.6g}"
+            f"  observed_ratio={res.observed_ratio:.4f}"
+        )
+    elif args.algorithm == "ltw":
+        out = ltw_schedule(inst)
+        sched = out.schedule
+        print(f"makespan={out.makespan:.6g}  C*={out.lower_bound:.6g}")
+    else:
+        fn = {
+            "sequential": sequential_allotment_schedule,
+            "full": full_allotment_schedule,
+            "greedy": greedy_critical_path_schedule,
+        }[args.algorithm]
+        sched = fn(inst)
+        print(f"makespan={sched.makespan:.6g}")
+    if args.gantt:
+        print(render_gantt(sched))
+    if args.output:
+        save_schedule(sched, args.output)
+        print(f"schedule written to {args.output}")
+    return 0
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    from .theory import format_table, table2, table3, table4
+
+    if args.which == 2:
+        print(format_table(table2(args.m_max), with_rho=True))
+    elif args.which == 3:
+        print(format_table(table3(args.m_max), with_rho=False))
+    else:
+        print(format_table(table4(args.m_max), with_rho=True))
+    return 0
+
+
+def _cmd_params(args: argparse.Namespace) -> int:
+    from .core import jz_parameters
+
+    p = jz_parameters(args.m)
+    print(f"m={p.m} rho={p.rho:g} mu={p.mu} ratio_bound={p.ratio:.6f}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from .io import instance_to_dict
+    from .workloads import make_instance
+
+    inst = make_instance(
+        args.family, args.size, args.processors,
+        model=args.model, seed=args.seed,
+    )
+    text = json.dumps(instance_to_dict(inst), indent=2)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        print(f"instance written to {args.output}", file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from .io import load_instance, load_schedule
+    from .schedule import validate_schedule
+
+    inst = load_instance(args.instance)
+    sched = load_schedule(args.schedule)
+    bad = validate_schedule(inst, sched)
+    if bad:
+        print("INFEASIBLE:")
+        for b in bad:
+            print(f"  {b}")
+        return 1
+    print(f"feasible; makespan={sched.makespan:.6g}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handler = {
+        "demo": _cmd_demo,
+        "solve": _cmd_solve,
+        "tables": _cmd_tables,
+        "params": _cmd_params,
+        "generate": _cmd_generate,
+        "validate": _cmd_validate,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,70 @@
+"""Core algorithm: task model, LP (9), rounding, LIST, two-phase pipeline."""
+
+from .task import AssumptionError, MalleableTask, WorkSegment
+from .instance import Instance
+from .parameters import (
+    JZParameters,
+    RHO_STAR_PAPER,
+    jz_parameters,
+    max_mu,
+    mu_hat,
+    ratio_bound,
+)
+from .lp import (
+    AllotmentLp,
+    AllotmentLpResult,
+    build_allotment_lp,
+    solve_allotment_lp,
+)
+from .rounding import (
+    RoundingReport,
+    round_fractional_times,
+    rounding_stretch_report,
+    time_stretch_bound,
+    work_stretch_bound,
+)
+from .list_scheduler import capped_allotment, list_schedule
+from .list_variants import PRIORITY_RULES, list_schedule_with_priority
+from .allotment_bsearch import (
+    BsearchReport,
+    DeadlineLpResult,
+    bsearch_allotment,
+    deadline_work_lp,
+)
+from .heavy_path import HeavyPath, extract_heavy_path
+from .two_phase import JZCertificate, JZResult, jz_schedule
+
+__all__ = [
+    "AllotmentLp",
+    "AllotmentLpResult",
+    "AssumptionError",
+    "BsearchReport",
+    "DeadlineLpResult",
+    "PRIORITY_RULES",
+    "bsearch_allotment",
+    "deadline_work_lp",
+    "list_schedule_with_priority",
+    "HeavyPath",
+    "Instance",
+    "JZCertificate",
+    "JZParameters",
+    "JZResult",
+    "MalleableTask",
+    "RHO_STAR_PAPER",
+    "RoundingReport",
+    "WorkSegment",
+    "build_allotment_lp",
+    "capped_allotment",
+    "extract_heavy_path",
+    "jz_parameters",
+    "jz_schedule",
+    "list_schedule",
+    "max_mu",
+    "mu_hat",
+    "ratio_bound",
+    "round_fractional_times",
+    "rounding_stretch_report",
+    "solve_allotment_lp",
+    "time_stretch_bound",
+    "work_stretch_bound",
+]

@@ -1,0 +1,161 @@
+"""Alternative phase 1: deadline LP + binary search (the [18] approach).
+
+The Remark at the end of Section 3.1 explains that the paper *avoids* the
+earlier two-step approach of Lepère et al. [18]: there, the allotment
+problem is treated as a bicriteria time-cost tradeoff — for a guessed
+deadline ``d`` on the critical path, minimize the total work — and a
+binary search over ``d`` balances the two criteria, whereas LP (9) embeds
+both criteria (``L <= C`` and ``W/m <= C``) in a single program.
+
+This module implements the avoided variant faithfully so the claim can be
+*measured* (see ``benchmarks/bench_phase1_variants.py``): same final
+quality (both phase-1 formulations relax the same problem) but strictly
+more LP solves for the binary search.
+
+API
+---
+:func:`deadline_work_lp` — min Σ w̄_j/m subject to the precedence system
+with every completion time <= ``d``.
+:func:`bsearch_allotment` — binary search on ``d`` to minimize
+``max(d, W(d)/m)``, then critical-point rounding; returns the allotment
+and a report with the search trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..lpsolve import LinearProgram, LpError
+from .instance import Instance
+from .rounding import round_fractional_times
+
+__all__ = [
+    "deadline_work_lp",
+    "DeadlineLpResult",
+    "BsearchReport",
+    "bsearch_allotment",
+]
+
+
+@dataclass(frozen=True)
+class DeadlineLpResult:
+    """Optimal fractional times for one deadline guess."""
+
+    deadline: float
+    total_work: float  #: W(d) = Σ w_j(x_j) at the optimum
+    x: Tuple[float, ...]
+
+
+def deadline_work_lp(
+    instance: Instance, deadline: float, backend: str = "auto"
+) -> Optional[DeadlineLpResult]:
+    """Minimize total work subject to critical path <= ``deadline``.
+
+    Returns ``None`` when the deadline is infeasible (shorter than the
+    all-``m`` critical path).
+    """
+    if deadline <= 0:
+        return None
+    lp = LinearProgram(name=f"deadline-work d={deadline:g}")
+    n = instance.n_tasks
+    x_vars, c_vars, w_vars = [], [], []
+    for j in range(n):
+        t = instance.task(j)
+        x_vars.append(lp.add_variable(f"x{j}", lo=t.min_time, hi=t.max_time))
+        c_vars.append(lp.add_variable(f"C{j}", lo=0.0, hi=deadline))
+        segs = t.segments()
+        w_lo = t.breakpoints[0][0] * t.breakpoints[0][1] if not segs else 0.0
+        w_vars.append(lp.add_variable(f"w{j}", lo=w_lo, obj=1.0))
+        lp.add_constraint(
+            {x_vars[j]: 1.0, c_vars[j]: -1.0}, "<=", 0.0, name=f"fit{j}"
+        )
+        for seg in segs:
+            lp.add_constraint(
+                {x_vars[j]: seg.slope, w_vars[j]: -1.0},
+                "<=",
+                -seg.intercept,
+                name=f"work{j}l{seg.l}",
+            )
+    for (i, j) in instance.dag.edges:
+        lp.add_constraint(
+            {c_vars[i]: 1.0, x_vars[j]: 1.0, c_vars[j]: -1.0},
+            "<=",
+            0.0,
+            name=f"prec{i}-{j}",
+        )
+    try:
+        sol = lp.solve(backend=backend)
+    except LpError:
+        return None
+    x = tuple(sol[v] for v in x_vars)
+    total = sum(
+        instance.task(j).work_of_time(x[j]) for j in range(n)
+    )
+    return DeadlineLpResult(deadline=deadline, total_work=total, x=x)
+
+
+@dataclass(frozen=True)
+class BsearchReport:
+    """Outcome of the binary-search phase 1."""
+
+    allotment: Tuple[int, ...]
+    x: Tuple[float, ...]
+    deadline: float  #: final deadline guess d
+    objective: float  #: max(d, W(d)/m) achieved
+    lp_solves: int  #: number of deadline LPs solved (the avoided cost)
+
+
+def bsearch_allotment(
+    instance: Instance,
+    rho: float,
+    rel_tol: float = 1e-4,
+    max_iterations: int = 60,
+    backend: str = "auto",
+) -> BsearchReport:
+    """Phase 1 via deadline binary search, as in [18].
+
+    Searches the deadline ``d`` in ``[L_min, Σ p_j(1)]`` for the balance
+    point of ``max(d, W(d)/m)`` (``W(d)`` is non-increasing in ``d``,
+    ``d`` is increasing, so the max is unimodal), then applies the same
+    critical-point rounding as the direct pipeline.
+    """
+    m = instance.m
+    lo = max(instance.min_critical_path(), 1e-12)
+    hi = max(instance.sequential_makespan(), lo * (1 + 1e-9))
+    solves = 0
+
+    def evaluate(d: float) -> Tuple[float, DeadlineLpResult]:
+        nonlocal solves
+        res = deadline_work_lp(instance, d, backend=backend)
+        solves += 1
+        if res is None:
+            return float("inf"), None
+        return max(d, res.total_work / m), res
+
+    best_obj, best = evaluate(hi)
+    # Binary search: if W(d)/m > d the balance point is to the right.
+    for _ in range(max_iterations):
+        if hi - lo <= rel_tol * hi:
+            break
+        mid = 0.5 * (lo + hi)
+        obj, res = evaluate(mid)
+        if res is None:
+            lo = mid
+            continue
+        if obj < best_obj:
+            best_obj, best = obj, res
+        if res.total_work / m > mid:
+            lo = mid
+        else:
+            hi = mid
+    if best is None:  # pragma: no cover - hi is always feasible
+        raise RuntimeError("binary search found no feasible deadline")
+    allot = round_fractional_times(instance, best.x, rho)
+    return BsearchReport(
+        allotment=tuple(allot),
+        x=tuple(best.x),
+        deadline=best.deadline,
+        objective=best_obj,
+        lp_solves=solves,
+    )

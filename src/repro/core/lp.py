@@ -1,0 +1,184 @@
+"""Phase 1 linear program — eq. (9) of the paper.
+
+The allotment problem asks for fractional processing times ``x_j`` that
+simultaneously keep the critical path ``L`` and the average work ``W/m``
+small; both are lower bounds on the makespan (eq. (11)).  The paper's key
+move (Section 3.1) is that, because the work function is **convex** in the
+processing time (Theorem 2.2), the piecewise-linear program (7) can be
+written as the genuine linear program (9):
+
+    min  C
+    s.t. C_i + x_j <= C_j                   for every arc (i, j)
+         x_j <= C_j                          (source tasks must fit too)
+         0 <= C_j <= L
+         segment_l(x_j) <= w̄_j              for every work segment of J_j
+         L <= C
+         (Σ_j w̄_j) / m <= C
+         p_j(m) <= x_j <= p_j(1)
+
+where ``segment_l`` are the chords of eq. (8).  Embedding both criteria in
+one LP with the extra ``L <= C`` and ``W/m <= C`` rows is what lets the
+paper avoid the binary search of Lepère et al. [18] (see the Remark at the
+end of Section 3.1).
+
+The optimum satisfies ``max(L*, W*/m) <= C* <= OPT`` (eq. (11)), making
+``C*`` the certified lower bound every ratio measurement in the benchmark
+harness divides by.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..lpsolve import LinearProgram, LpSolution
+from .instance import Instance
+
+__all__ = ["AllotmentLp", "AllotmentLpResult", "build_allotment_lp", "solve_allotment_lp"]
+
+
+@dataclass(frozen=True)
+class AllotmentLpResult:
+    """Optimal fractional solution of LP (9).
+
+    Attributes
+    ----------
+    x:
+        Fractional processing times ``x*_j``.
+    completion:
+        Fractional completion times ``C*_j``.
+    work_bar:
+        The LP's linearized work values ``w̄*_j`` (equal to
+        ``w_j(x*_j)`` whenever the total-work constraint is active).
+    work:
+        Recomputed exact piecewise-linear work ``w_j(x*_j)`` — this is the
+        quantity Lemma 4.2 reasons about, so downstream code uses it.
+    critical_path:
+        ``L*`` — the LP's critical-path value.
+    total_work:
+        ``W* = Σ_j w_j(x*_j)``.
+    objective:
+        ``C* = max(L*, W*/m)`` at the optimum; a lower bound on OPT.
+    backend:
+        LP backend used.
+    """
+
+    x: Tuple[float, ...]
+    completion: Tuple[float, ...]
+    work_bar: Tuple[float, ...]
+    work: Tuple[float, ...]
+    critical_path: float
+    total_work: float
+    objective: float
+    backend: str
+
+
+@dataclass
+class AllotmentLp:
+    """The constructed LP together with its variable handles."""
+
+    lp: LinearProgram
+    x_vars: Tuple[int, ...]
+    c_vars: Tuple[int, ...]
+    w_vars: Tuple[int, ...]
+    l_var: int
+    c_max_var: int
+
+
+def build_allotment_lp(instance: Instance) -> AllotmentLp:
+    """Construct LP (9) for ``instance``.
+
+    The model has ``3n + 2`` variables and
+    ``|E| + 2n + Σ_j (#segments_j) + 2`` constraints — polynomial in ``n``
+    and ``m`` as the paper notes.
+    """
+    lp = LinearProgram(name=f"allotment(9) n={instance.n_tasks} m={instance.m}")
+    n = instance.n_tasks
+    m = instance.m
+
+    x_vars = []
+    c_vars = []
+    w_vars = []
+    for j in range(n):
+        t = instance.task(j)
+        x_vars.append(
+            lp.add_variable(f"x{j}", lo=t.min_time, hi=t.max_time)
+        )
+        c_vars.append(lp.add_variable(f"C{j}", lo=0.0))
+        # Rigid tasks (no segments) have constant work; bound w̄ directly.
+        segs = t.segments()
+        w_lo = t.breakpoints[0][0] * t.breakpoints[0][1] if not segs else 0.0
+        w_vars.append(lp.add_variable(f"w{j}", lo=w_lo))
+    l_var = lp.add_variable("L", lo=0.0)
+    c_max_var = lp.add_variable("C", lo=0.0, obj=1.0)
+
+    for j in range(n):
+        # Task must fit before its completion even with no predecessors.
+        lp.add_constraint(
+            {x_vars[j]: 1.0, c_vars[j]: -1.0}, "<=", 0.0, name=f"fit{j}"
+        )
+        # All tasks finish by the critical-path bound L.
+        lp.add_constraint(
+            {c_vars[j]: 1.0, l_var: -1.0}, "<=", 0.0, name=f"span{j}"
+        )
+        # Work linearization: every chord of eq. (8) under-estimates w̄.
+        for seg in instance.task(j).segments():
+            lp.add_constraint(
+                {x_vars[j]: seg.slope, w_vars[j]: -1.0},
+                "<=",
+                -seg.intercept,
+                name=f"work{j}l{seg.l}",
+            )
+
+    for (i, j) in instance.dag.edges:
+        lp.add_constraint(
+            {c_vars[i]: 1.0, x_vars[j]: 1.0, c_vars[j]: -1.0},
+            "<=",
+            0.0,
+            name=f"prec{i}-{j}",
+        )
+
+    lp.add_constraint({l_var: 1.0, c_max_var: -1.0}, "<=", 0.0, name="L<=C")
+    lp.add_constraint(
+        {**{w: 1.0 for w in w_vars}, c_max_var: -float(m)},
+        "<=",
+        0.0,
+        name="W/m<=C",
+    )
+
+    return AllotmentLp(
+        lp=lp,
+        x_vars=tuple(x_vars),
+        c_vars=tuple(c_vars),
+        w_vars=tuple(w_vars),
+        l_var=l_var,
+        c_max_var=c_max_var,
+    )
+
+
+def solve_allotment_lp(
+    instance: Instance, backend: str = "auto"
+) -> AllotmentLpResult:
+    """Build and solve LP (9); returns the fractional optimum.
+
+    ``backend`` is forwarded to :meth:`LinearProgram.solve`.
+    """
+    built = build_allotment_lp(instance)
+    sol: LpSolution = built.lp.solve(backend=backend)
+    x = tuple(sol[v] for v in built.x_vars)
+    completion = tuple(sol[v] for v in built.c_vars)
+    work_bar = tuple(sol[v] for v in built.w_vars)
+    work = tuple(
+        instance.task(j).work_of_time(x[j]) for j in range(instance.n_tasks)
+    )
+    total_work = sum(work)
+    return AllotmentLpResult(
+        x=x,
+        completion=completion,
+        work_bar=work_bar,
+        work=work,
+        critical_path=sol[built.l_var],
+        total_work=total_work,
+        objective=sol.objective,
+        backend=sol.backend,
+    )

@@ -1,0 +1,132 @@
+"""Algorithm parameters ρ(m), μ(m) and the ratio bound (Section 4.2).
+
+The analysis reduces the approximation ratio to the min–max nonlinear
+program (17).  For fixed ``(μ, ρ)`` the inner maximization is a linear
+program over ``(x₁, x₂) >= 0`` with the single constraint
+
+    (1+ρ)/2 · x₁ + min{μ/m, (1+ρ)/2} · x₂ <= 1,
+
+so its optimum sits at a vertex: ``(0,0)``, ``(2/(1+ρ), 0)`` or
+``(0, max{m/μ, 2/(1+ρ)})``.  That yields the closed-form bound
+:func:`ratio_bound` used throughout (verified against every entry of the
+paper's Tables 2 and 4).
+
+The paper fixes ``ρ̂* = 0.26`` (eq. (19)) — close to the asymptotically
+optimal ``ρ* ≈ 0.261917`` of Section 4.3 — and
+``μ̂* = (113 m − sqrt(6469 m² − 6300 m)) / 100`` (eq. (20)), then takes the
+better of ``⌊μ̂*⌋``/``⌈μ̂*⌉``.  Small machines ``m ∈ {2, 3, 4}`` use the
+special values of Theorem 4.1.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = [
+    "RHO_STAR_PAPER",
+    "mu_hat",
+    "ratio_bound",
+    "jz_parameters",
+    "JZParameters",
+    "max_mu",
+]
+
+#: The fixed rounding parameter of eq. (19).
+RHO_STAR_PAPER = 0.26
+
+
+def max_mu(m: int) -> int:
+    """Largest admissible allotment cap: ``⌊(m+1)/2⌋`` (program (17))."""
+    _check_m(m)
+    return (m + 1) // 2
+
+
+def _check_m(m: int) -> None:
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+
+
+def mu_hat(m: int, rho: float = RHO_STAR_PAPER) -> float:
+    """The continuous minimizer of the objective over μ.
+
+    For the paper's ``ρ = 0.26`` this is eq. (20),
+    ``μ̂* = (113 m − sqrt(6469 m² − 6300 m)) / 100``; for general ρ it is
+    Lemma 4.8, ``μ = ((2+ρ) m − sqrt((ρ²+2ρ+2) m² − 2(1+ρ) m)) / 2``.
+    """
+    _check_m(m)
+    disc = (rho * rho + 2.0 * rho + 2.0) * m * m - 2.0 * (1.0 + rho) * m
+    return ((2.0 + rho) * m - math.sqrt(disc)) / 2.0
+
+
+def ratio_bound(m: int, mu: int, rho: float) -> float:
+    """Objective value of NLP (17) at ``(μ, ρ)`` — the proven ratio bound.
+
+    Evaluates the inner max at the constraint polytope's vertices:
+
+    ``r = [2m/(2−ρ) + max(0, (m−μ)·2/(1+ρ),
+           (m−2μ+1)·max(m/μ, 2/(1+ρ)))] / (m−μ+1)``.
+    """
+    _check_m(m)
+    if not (1 <= mu <= max_mu(m)):
+        raise ValueError(f"mu must be in [1, {max_mu(m)}], got {mu}")
+    if not (0.0 <= rho <= 1.0):
+        raise ValueError(f"rho must be in [0, 1], got {rho}")
+    x1_max = 2.0 / (1.0 + rho)
+    x2_max = max(m / mu, 2.0 / (1.0 + rho))
+    inner = max(0.0, (m - mu) * x1_max, (m - 2 * mu + 1) * x2_max)
+    return (2.0 * m / (2.0 - rho) + inner) / (m - mu + 1)
+
+
+@dataclass(frozen=True)
+class JZParameters:
+    """Chosen parameters and the proven ratio bound for a machine size.
+
+    Attributes
+    ----------
+    m: number of processors.
+    rho: rounding parameter used in phase 1.
+    mu: allotment cap used in phase 2.
+    ratio: the proven approximation-ratio bound r(m) at these parameters.
+    """
+
+    m: int
+    rho: float
+    mu: int
+    ratio: float
+
+
+def jz_parameters(m: int) -> JZParameters:
+    """Parameters the paper's algorithm uses for ``m`` processors.
+
+    Implements the initialization step of Section 3 with the Theorem 4.1
+    values: special cases for ``m ∈ {1, 2, 3, 4}`` and the ``ρ̂* = 0.26`` /
+    rounded ``μ̂*`` recipe for ``m >= 5``.  Reproduces the paper's Table 2
+    (see :func:`repro.theory.tables.table2`).
+    """
+    _check_m(m)
+    if m == 1:
+        # Degenerate machine: every allotment is 1, list scheduling is
+        # optimal for the induced chain ordering only in special cases;
+        # ratio 1 parameters keep the pipeline well-defined.
+        return JZParameters(m=1, rho=0.0, mu=1, ratio=1.0)
+    if m == 2:
+        return JZParameters(m=2, rho=0.0, mu=1, ratio=ratio_bound(2, 1, 0.0))
+    if m == 3:
+        return JZParameters(
+            m=3, rho=0.098, mu=2, ratio=ratio_bound(3, 2, 0.098)
+        )
+    if m == 4:
+        return JZParameters(m=4, rho=0.0, mu=2, ratio=ratio_bound(4, 2, 0.0))
+    rho = RHO_STAR_PAPER
+    target = mu_hat(m, rho)
+    cap = max_mu(m)
+    candidates = sorted(
+        {
+            min(cap, max(1, int(math.floor(target)))),
+            min(cap, max(1, int(math.ceil(target)))),
+        }
+    )
+    best = min(candidates, key=lambda mu: ratio_bound(m, mu, rho))
+    return JZParameters(m=m, rho=rho, mu=best, ratio=ratio_bound(m, best, rho))

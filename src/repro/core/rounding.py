@@ -1,0 +1,128 @@
+"""Critical-point rounding of the fractional allotment (Section 3.1).
+
+Given the fractional optimum ``x*`` of LP (9) and the rounding parameter
+``ρ ∈ [0, 1]``, each task's fractional time is snapped to an achievable
+discrete time: if ``x*_j`` lies in the segment ``[p_j(l+1), p_j(l)]``, the
+*critical point* is
+
+    p_j(l_c) = ρ · p_j(l) + (1 - ρ) · p_j(l+1)
+
+and ``x*_j`` is rounded **up** to ``p_j(l)`` (fewer processors) when
+``x*_j >= p_j(l_c)``, otherwise **down** to ``p_j(l+1)`` (more processors).
+
+Lemma 4.2 bounds the damage:
+
+* processing time grows by at most ``2 / (1 + ρ)``;
+* work grows by at most ``2 / (2 - ρ)``.
+
+Both factors are verified instance-by-instance by
+:func:`rounding_stretch_report` (and property-tested in the suite).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from .instance import Instance
+
+__all__ = [
+    "round_fractional_times",
+    "RoundingReport",
+    "rounding_stretch_report",
+    "time_stretch_bound",
+    "work_stretch_bound",
+]
+
+
+def time_stretch_bound(rho: float) -> float:
+    """Lemma 4.2 worst-case processing-time stretch ``2 / (1 + ρ)``."""
+    _check_rho(rho)
+    return 2.0 / (1.0 + rho)
+
+
+def work_stretch_bound(rho: float) -> float:
+    """Lemma 4.2 worst-case work stretch ``2 / (2 - ρ)``."""
+    _check_rho(rho)
+    return 2.0 / (2.0 - rho)
+
+
+def _check_rho(rho: float) -> None:
+    if not (0.0 <= rho <= 1.0):
+        raise ValueError(f"rho must be in [0, 1], got {rho}")
+
+
+def round_fractional_times(
+    instance: Instance, x: Sequence[float], rho: float
+) -> List[int]:
+    """Apply critical-point rounding; returns the allotment α′ (``l′_j``).
+
+    ``x`` must lie inside each task's achievable range (as LP (9)
+    guarantees).  Exact breakpoint hits keep their canonical (smallest)
+    processor count — no rounding decision is involved.
+    """
+    _check_rho(rho)
+    if len(x) != instance.n_tasks:
+        raise ValueError("one fractional time per task required")
+    allot: List[int] = []
+    for j in range(instance.n_tasks):
+        task = instance.task(j)
+        l_up, l_down = task.bracket(x[j])
+        if l_up == l_down:
+            allot.append(l_up)
+            continue
+        p_up = task.time(l_up)  # larger time, fewer processors
+        p_down = task.time(l_down)  # smaller time, more processors
+        critical = rho * p_up + (1.0 - rho) * p_down
+        allot.append(l_up if x[j] >= critical else l_down)
+    return allot
+
+
+@dataclass(frozen=True)
+class RoundingReport:
+    """Per-instance accounting of the rounding step (Lemma 4.2).
+
+    ``time_stretch[j] = p_j(l′_j) / x*_j`` and
+    ``work_stretch[j] = w_j(p_j(l′_j)) / w_j(x*_j)``; the ``max_*`` fields
+    are their maxima, provably at most the corresponding ``bound_*``.
+    """
+
+    allotment: Tuple[int, ...]
+    time_stretch: Tuple[float, ...]
+    work_stretch: Tuple[float, ...]
+    max_time_stretch: float
+    max_work_stretch: float
+    bound_time_stretch: float
+    bound_work_stretch: float
+
+    @property
+    def within_bounds(self) -> bool:
+        """Whether Lemma 4.2 holds on this instance (it must)."""
+        tol = 1e-7
+        return (
+            self.max_time_stretch <= self.bound_time_stretch * (1 + tol)
+            and self.max_work_stretch <= self.bound_work_stretch * (1 + tol)
+        )
+
+
+def rounding_stretch_report(
+    instance: Instance, x: Sequence[float], rho: float
+) -> RoundingReport:
+    """Round and measure the realized stretches against Lemma 4.2."""
+    allot = round_fractional_times(instance, x, rho)
+    t_stretch: List[float] = []
+    w_stretch: List[float] = []
+    for j, l in enumerate(allot):
+        task = instance.task(j)
+        t_stretch.append(task.time(l) / x[j])
+        frac_work = task.work_of_time(x[j])
+        w_stretch.append(task.work(l) / frac_work if frac_work > 0 else 1.0)
+    return RoundingReport(
+        allotment=tuple(allot),
+        time_stretch=tuple(t_stretch),
+        work_stretch=tuple(w_stretch),
+        max_time_stretch=max(t_stretch, default=1.0),
+        max_work_stretch=max(w_stretch, default=1.0),
+        bound_time_stretch=time_stretch_bound(rho),
+        bound_work_stretch=work_stretch_bound(rho),
+    )

@@ -1,0 +1,45 @@
+"""DAG substrate: graph type, algorithms and synthetic workload generators.
+
+See :class:`repro.dag.Dag` for the core type and
+:mod:`repro.dag.generators` for the precedence-graph families used by the
+benchmark harness.
+"""
+
+from .graph import CycleError, Dag
+from .generators import (
+    FAMILIES,
+    chain_dag,
+    cholesky_dag,
+    diamond_dag,
+    erdos_renyi_dag,
+    fft_dag,
+    fork_join_dag,
+    independent_dag,
+    intree_dag,
+    layered_dag,
+    lu_dag,
+    outtree_dag,
+    random_family,
+    series_parallel_dag,
+    stencil_dag,
+)
+
+__all__ = [
+    "CycleError",
+    "Dag",
+    "FAMILIES",
+    "chain_dag",
+    "cholesky_dag",
+    "diamond_dag",
+    "erdos_renyi_dag",
+    "fft_dag",
+    "fork_join_dag",
+    "independent_dag",
+    "intree_dag",
+    "layered_dag",
+    "lu_dag",
+    "outtree_dag",
+    "random_family",
+    "series_parallel_dag",
+    "stencil_dag",
+]

@@ -1,0 +1,312 @@
+"""Directed acyclic graph substrate.
+
+The paper models precedence constraints as a DAG ``G = (V, E)`` over the task
+set ``V = {0, .., n-1}``: an arc ``(i, j)`` means task ``j`` cannot start
+before task ``i`` completes (Section 1 of the paper).  This module provides a
+small, dependency-free, immutable DAG type tailored to the scheduling
+algorithms in :mod:`repro.core`.
+
+Nodes are consecutive integers ``0..n-1``.  The class validates acyclicity at
+construction time and precomputes predecessor/successor adjacency and a
+topological order, which every downstream algorithm (LP construction, list
+scheduling, critical-path computation) consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+__all__ = ["CycleError", "Dag"]
+
+
+class CycleError(ValueError):
+    """Raised when the supplied edge set contains a directed cycle."""
+
+
+class Dag:
+    """An immutable directed acyclic graph over nodes ``0..n_nodes-1``.
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of nodes; nodes are the integers ``0..n_nodes-1``.
+    edges:
+        Iterable of ``(u, v)`` arcs meaning *u precedes v*.  Duplicate arcs
+        are collapsed; self-loops raise :class:`CycleError`.
+
+    Raises
+    ------
+    CycleError
+        If the arcs contain a directed cycle.
+    ValueError
+        If an endpoint is out of range or ``n_nodes`` is negative.
+    """
+
+    __slots__ = ("_n", "_succ", "_pred", "_edges", "_topo_order")
+
+    def __init__(self, n_nodes: int, edges: Iterable[Tuple[int, int]] = ()):
+        if n_nodes < 0:
+            raise ValueError(f"n_nodes must be >= 0, got {n_nodes}")
+        self._n = int(n_nodes)
+        succ: List[Set[int]] = [set() for _ in range(self._n)]
+        pred: List[Set[int]] = [set() for _ in range(self._n)]
+        for u, v in edges:
+            u, v = int(u), int(v)
+            if not (0 <= u < self._n and 0 <= v < self._n):
+                raise ValueError(
+                    f"edge ({u}, {v}) out of range for {self._n} nodes"
+                )
+            if u == v:
+                raise CycleError(f"self-loop on node {u}")
+            succ[u].add(v)
+            pred[v].add(u)
+        self._succ: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(sorted(s)) for s in succ
+        )
+        self._pred: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(sorted(p)) for p in pred
+        )
+        self._edges: Tuple[Tuple[int, int], ...] = tuple(
+            (u, v) for u in range(self._n) for v in self._succ[u]
+        )
+        self._topo_order = self._compute_topo_order()
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_adjacency(cls, succ: Sequence[Iterable[int]]) -> "Dag":
+        """Build a DAG from a successor-list representation."""
+        n = len(succ)
+        return cls(n, ((u, v) for u in range(n) for v in succ[u]))
+
+    @classmethod
+    def chain(cls, n_nodes: int) -> "Dag":
+        """A simple path ``0 -> 1 -> ... -> n-1`` (a fully sequential DAG)."""
+        return cls(n_nodes, ((i, i + 1) for i in range(n_nodes - 1)))
+
+    @classmethod
+    def empty(cls, n_nodes: int) -> "Dag":
+        """``n_nodes`` independent tasks (no precedence constraints)."""
+        return cls(n_nodes)
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes."""
+        return self._n
+
+    @property
+    def n_edges(self) -> int:
+        """Number of (deduplicated) arcs."""
+        return len(self._edges)
+
+    @property
+    def edges(self) -> Tuple[Tuple[int, int], ...]:
+        """All arcs, sorted lexicographically."""
+        return self._edges
+
+    def successors(self, v: int) -> Tuple[int, ...]:
+        """Direct successors Γ⁺(v) — tasks that must wait for ``v``."""
+        return self._succ[v]
+
+    def predecessors(self, v: int) -> Tuple[int, ...]:
+        """Direct predecessors Γ⁻(v) — tasks ``v`` must wait for."""
+        return self._pred[v]
+
+    def in_degree(self, v: int) -> int:
+        """Number of direct predecessors of ``v``."""
+        return len(self._pred[v])
+
+    def out_degree(self, v: int) -> int:
+        """Number of direct successors of ``v``."""
+        return len(self._succ[v])
+
+    def sources(self) -> Tuple[int, ...]:
+        """Nodes with no predecessors (ready at time zero)."""
+        return tuple(v for v in range(self._n) if not self._pred[v])
+
+    def sinks(self) -> Tuple[int, ...]:
+        """Nodes with no successors."""
+        return tuple(v for v in range(self._n) if not self._succ[v])
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the arc ``(u, v)`` is present."""
+        return v in self._succ[u]
+
+    # ------------------------------------------------------------------
+    # orders and reachability
+    # ------------------------------------------------------------------
+    def _compute_topo_order(self) -> Tuple[int, ...]:
+        """Kahn's algorithm; raises :class:`CycleError` on a cycle."""
+        indeg = [len(self._pred[v]) for v in range(self._n)]
+        # A deterministic order (smallest node first) keeps every downstream
+        # algorithm reproducible without a seed.
+        from heapq import heapify, heappop, heappush
+
+        ready = [v for v in range(self._n) if indeg[v] == 0]
+        heapify(ready)
+        order: List[int] = []
+        while ready:
+            v = heappop(ready)
+            order.append(v)
+            for w in self._succ[v]:
+                indeg[w] -= 1
+                if indeg[w] == 0:
+                    heappush(ready, w)
+        if len(order) != self._n:
+            raise CycleError("edge set contains a directed cycle")
+        return tuple(order)
+
+    def topological_order(self) -> Tuple[int, ...]:
+        """A deterministic topological order of all nodes."""
+        return self._topo_order
+
+    def ancestors(self, v: int) -> Set[int]:
+        """All (transitive) predecessors of ``v``, excluding ``v``."""
+        seen: Set[int] = set()
+        stack = list(self._pred[v])
+        while stack:
+            u = stack.pop()
+            if u not in seen:
+                seen.add(u)
+                stack.extend(self._pred[u])
+        return seen
+
+    def descendants(self, v: int) -> Set[int]:
+        """All (transitive) successors of ``v``, excluding ``v``."""
+        seen: Set[int] = set()
+        stack = list(self._succ[v])
+        while stack:
+            u = stack.pop()
+            if u not in seen:
+                seen.add(u)
+                stack.extend(self._succ[u])
+        return seen
+
+    def reachable(self, u: int, v: int) -> bool:
+        """Whether there is a directed path from ``u`` to ``v`` (u != v)."""
+        if u == v:
+            return False
+        return v in self.descendants(u)
+
+    # ------------------------------------------------------------------
+    # structural transforms
+    # ------------------------------------------------------------------
+    def transitive_closure(self) -> "Dag":
+        """DAG with an arc ``(u, v)`` for every directed path ``u ->* v``."""
+        desc: Dict[int, Set[int]] = {}
+        for v in reversed(self._topo_order):
+            d: Set[int] = set()
+            for w in self._succ[v]:
+                d.add(w)
+                d |= desc[w]
+            desc[v] = d
+        return Dag(self._n, ((u, v) for u in range(self._n) for v in desc[u]))
+
+    def transitive_reduction(self) -> "Dag":
+        """Minimal sub-DAG with the same reachability relation.
+
+        An arc ``(u, v)`` is redundant iff ``v`` is reachable from ``u``
+        through some other successor of ``u``.
+        """
+        desc: Dict[int, Set[int]] = {}
+        for v in reversed(self._topo_order):
+            d: Set[int] = set()
+            for w in self._succ[v]:
+                d.add(w)
+                d |= desc[w]
+            desc[v] = d
+        keep = []
+        for u in range(self._n):
+            for v in self._succ[u]:
+                redundant = any(
+                    v in desc[w] for w in self._succ[u] if w != v
+                )
+                if not redundant:
+                    keep.append((u, v))
+        return Dag(self._n, keep)
+
+    def reversed_dag(self) -> "Dag":
+        """The DAG with every arc flipped."""
+        return Dag(self._n, ((v, u) for (u, v) in self._edges))
+
+    def induced_subgraph(self, nodes: Iterable[int]) -> Tuple["Dag", Dict[int, int]]:
+        """Subgraph on ``nodes``; returns the new DAG and old->new node map."""
+        keep = sorted(set(int(v) for v in nodes))
+        for v in keep:
+            if not (0 <= v < self._n):
+                raise ValueError(f"node {v} out of range")
+        remap = {old: new for new, old in enumerate(keep)}
+        edges = [
+            (remap[u], remap[v])
+            for (u, v) in self._edges
+            if u in remap and v in remap
+        ]
+        return Dag(len(keep), edges), remap
+
+    # ------------------------------------------------------------------
+    # weighted longest path (the "critical path" of Section 1)
+    # ------------------------------------------------------------------
+    def longest_path_length(self, weights: Sequence[float]) -> float:
+        """Maximum total node weight along any directed path.
+
+        This is the paper's *critical path length* ``L`` for node weights
+        equal to processing times.  Runs in O(V + E).
+        """
+        if len(weights) != self._n:
+            raise ValueError("one weight per node required")
+        if self._n == 0:
+            return 0.0
+        dist = [0.0] * self._n
+        for v in self._topo_order:
+            best = 0.0
+            for u in self._pred[v]:
+                if dist[u] > best:
+                    best = dist[u]
+            dist[v] = best + float(weights[v])
+        return max(dist)
+
+    def longest_path(self, weights: Sequence[float]) -> List[int]:
+        """A node sequence realizing :meth:`longest_path_length`."""
+        if len(weights) != self._n:
+            raise ValueError("one weight per node required")
+        if self._n == 0:
+            return []
+        dist = [0.0] * self._n
+        parent = [-1] * self._n
+        for v in self._topo_order:
+            best, arg = 0.0, -1
+            for u in self._pred[v]:
+                if dist[u] > best:
+                    best, arg = dist[u], u
+            dist[v] = best + float(weights[v])
+            parent[v] = arg
+        end = max(range(self._n), key=lambda v: dist[v])
+        path = [end]
+        while parent[path[-1]] != -1:
+            path.append(parent[path[-1]])
+        path.reverse()
+        return path
+
+    def depth(self) -> int:
+        """Number of nodes on the longest (unit-weight) path; 0 if empty."""
+        if self._n == 0:
+            return 0
+        return int(round(self.longest_path_length([1.0] * self._n)))
+
+    # ------------------------------------------------------------------
+    # dunder protocol
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Dag):
+            return NotImplemented
+        return self._n == other._n and self._edges == other._edges
+
+    def __hash__(self) -> int:
+        return hash((self._n, self._edges))
+
+    def __repr__(self) -> str:
+        return f"Dag(n_nodes={self._n}, n_edges={self.n_edges})"

@@ -1,0 +1,132 @@
+"""JSON round-trip serialization for instances and schedules.
+
+A stable, human-readable on-disk format so benchmark workloads and solver
+outputs can be archived and diffed.  Schema (versioned):
+
+Instance::
+
+    {"format": "repro-instance", "version": 1, "name": ...,
+     "m": 8, "n_tasks": 3,
+     "tasks": [{"name": "J0", "times": [10.0, 6.0, ...]}, ...],
+     "edges": [[0, 1], [0, 2]]}
+
+Schedule::
+
+    {"format": "repro-schedule", "version": 1, "m": 8, "makespan": ...,
+     "entries": [{"task": 0, "start": 0.0, "processors": 2,
+                  "duration": 6.0}, ...]}
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from .core.instance import Instance
+from .core.task import MalleableTask
+from .dag import Dag
+from .schedule import Schedule, ScheduledTask
+
+__all__ = [
+    "instance_to_dict",
+    "instance_from_dict",
+    "schedule_to_dict",
+    "schedule_from_dict",
+    "save_instance",
+    "load_instance",
+    "save_schedule",
+    "load_schedule",
+]
+
+_PathLike = Union[str, Path]
+
+
+def instance_to_dict(instance: Instance) -> Dict[str, Any]:
+    """Serialize an instance to a JSON-compatible dict."""
+    return {
+        "format": "repro-instance",
+        "version": 1,
+        "name": instance.name,
+        "m": instance.m,
+        "n_tasks": instance.n_tasks,
+        "tasks": [
+            {"name": t.name, "times": list(t.times)}
+            for t in instance.tasks
+        ],
+        "edges": [list(e) for e in instance.dag.edges],
+    }
+
+
+def instance_from_dict(data: Dict[str, Any]) -> Instance:
+    """Deserialize an instance; validates format/version and assumptions."""
+    _expect(data, "repro-instance")
+    tasks = [
+        MalleableTask(t["times"], name=t.get("name"))
+        for t in data["tasks"]
+    ]
+    dag = Dag(data["n_tasks"], [tuple(e) for e in data["edges"]])
+    return Instance(tasks, dag, int(data["m"]), name=data.get("name"))
+
+
+def schedule_to_dict(schedule: Schedule) -> Dict[str, Any]:
+    """Serialize a schedule to a JSON-compatible dict."""
+    return {
+        "format": "repro-schedule",
+        "version": 1,
+        "m": schedule.m,
+        "makespan": schedule.makespan,
+        "entries": [
+            {
+                "task": e.task,
+                "start": e.start,
+                "processors": e.processors,
+                "duration": e.duration,
+            }
+            for e in schedule.entries
+        ],
+    }
+
+
+def schedule_from_dict(data: Dict[str, Any]) -> Schedule:
+    """Deserialize a schedule."""
+    _expect(data, "repro-schedule")
+    entries = [
+        ScheduledTask(
+            task=int(e["task"]),
+            start=float(e["start"]),
+            processors=int(e["processors"]),
+            duration=float(e["duration"]),
+        )
+        for e in data["entries"]
+    ]
+    return Schedule(int(data["m"]), entries)
+
+
+def _expect(data: Dict[str, Any], fmt: str) -> None:
+    if data.get("format") != fmt:
+        raise ValueError(
+            f"expected format {fmt!r}, got {data.get('format')!r}"
+        )
+    if data.get("version") != 1:
+        raise ValueError(f"unsupported version {data.get('version')!r}")
+
+
+def save_instance(instance: Instance, path: _PathLike) -> None:
+    """Write an instance to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(instance_to_dict(instance), indent=2))
+
+
+def load_instance(path: _PathLike) -> Instance:
+    """Read an instance from a JSON file."""
+    return instance_from_dict(json.loads(Path(path).read_text()))
+
+
+def save_schedule(schedule: Schedule, path: _PathLike) -> None:
+    """Write a schedule to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(schedule_to_dict(schedule), indent=2))
+
+
+def load_schedule(path: _PathLike) -> Schedule:
+    """Read a schedule from a JSON file."""
+    return schedule_from_dict(json.loads(Path(path).read_text()))

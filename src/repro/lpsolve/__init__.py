@@ -1,0 +1,12 @@
+"""LP substrate: modeling layer, built-in simplex, optional SciPy backend."""
+
+from .model import LinearProgram, LpError, LpSolution, LpStatus
+from .simplex import solve_with_simplex
+
+__all__ = [
+    "LinearProgram",
+    "LpError",
+    "LpSolution",
+    "LpStatus",
+    "solve_with_simplex",
+]

@@ -1,0 +1,244 @@
+"""Self-contained dense two-phase primal simplex solver.
+
+This is the repository's no-dependency LP backend (NumPy only).  It solves
+the :class:`repro.lpsolve.LinearProgram` model by reduction to the
+standard form
+
+    min c^T z   s.t.   A z = b,  z >= 0,  b >= 0,
+
+via the classic transformations:
+
+* variables are shifted by their (finite) lower bounds;
+* finite upper bounds become explicit ``<=`` rows;
+* ``<=`` rows get slack variables, ``>=`` rows get surplus variables;
+* phase 1 minimizes the sum of artificial variables to find a basic
+  feasible solution, phase 2 optimizes the true objective.
+
+Pivoting uses Dantzig's rule with an automatic switch to Bland's rule after
+a stall is detected, which guarantees termination.  The implementation is
+deliberately dense and simple — the paper's LP (9) has ``O(nm)`` rows, which
+this handles comfortably for the test- and benchmark-scale instances; the
+SciPy/HiGHS backend takes over for large sweeps (see
+:mod:`repro.lpsolve.scipy_backend`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from .model import LinearProgram, LpError, LpSolution, LpStatus
+
+__all__ = ["solve_with_simplex"]
+
+_TOL = 1e-9
+
+
+def solve_with_simplex(
+    lp: LinearProgram, max_iterations: int = 0
+) -> LpSolution:
+    """Solve ``lp`` with the built-in two-phase simplex.
+
+    ``max_iterations`` of 0 picks a generous default proportional to the
+    tableau size.  Raises :class:`LpError` on infeasibility/unboundedness.
+    """
+    n = lp.n_variables
+    obj = np.asarray(lp.objective_coefficients, dtype=float)
+    lo = np.array([b[0] for b in lp.bounds], dtype=float)
+    hi = np.array([b[1] for b in lp.bounds], dtype=float)
+    if not np.all(np.isfinite(lo)):
+        raise LpError(
+            "simplex backend requires finite lower bounds on all variables"
+        )
+
+    # --- assemble rows: original constraints with shifted variables -------
+    rows: List[Tuple[np.ndarray, str, float]] = []
+    for coeffs, sense, rhs, _name in lp.constraints:
+        a = np.zeros(n)
+        shift = 0.0
+        for v, c in coeffs.items():
+            a[v] = c
+            shift += c * lo[v]
+        rows.append((a, sense, rhs - shift))
+    # Upper bounds (on the shifted variable: z_v <= hi_v - lo_v).
+    for v in range(n):
+        if np.isfinite(hi[v]):
+            a = np.zeros(n)
+            a[v] = 1.0
+            rows.append((a, "<=", hi[v] - lo[v]))
+
+    m_rows = len(rows)
+    # Count slacks/surplus.
+    n_slack = sum(1 for _, s, _ in rows if s in ("<=", ">="))
+    total = n + n_slack
+    A = np.zeros((m_rows, total))
+    b = np.zeros(m_rows)
+    slack_col = n
+    art_rows: List[int] = []
+    basis = [-1] * m_rows  # column index of the basic variable per row
+
+    for i, (a, sense, rhs) in enumerate(rows):
+        if rhs < 0:  # normalize to b >= 0
+            a = -a
+            rhs = -rhs
+            sense = {"<=": ">=", ">=": "<=", "==": "=="}[sense]
+        A[i, :n] = a
+        b[i] = rhs
+        if sense == "<=":
+            A[i, slack_col] = 1.0
+            basis[i] = slack_col
+            slack_col += 1
+        elif sense == ">=":
+            A[i, slack_col] = -1.0
+            slack_col += 1
+            art_rows.append(i)
+        else:  # ==
+            art_rows.append(i)
+
+    # Artificial variables for rows lacking an identity column.
+    n_art = len(art_rows)
+    if n_art:
+        A = np.hstack([A, np.zeros((m_rows, n_art))])
+        for k, i in enumerate(art_rows):
+            A[i, total + k] = 1.0
+            basis[i] = total + k
+    n_cols = A.shape[1]
+
+    if max_iterations <= 0:
+        max_iterations = 200 * (m_rows + n_cols + 10)
+
+    iters = 0
+
+    def pivot(tab_A, tab_b, cost, basis):
+        """Run simplex iterations in place; returns status string."""
+        nonlocal iters
+        stall = 0
+        last_obj = np.inf
+        bland = False
+        while True:
+            if iters >= max_iterations:
+                raise LpError(
+                    f"simplex iteration limit ({max_iterations}) exceeded"
+                )
+            iters += 1
+            # Reduced costs: c_j - c_B^T B^{-1} A_j. We keep the tableau in
+            # canonical form, so reduced costs are just the cost row.
+            rc = cost
+            if bland:
+                enter = -1
+                for j in range(len(rc)):
+                    if rc[j] < -_TOL:
+                        enter = j
+                        break
+            else:
+                enter = int(np.argmin(rc))
+                if rc[enter] >= -_TOL:
+                    enter = -1
+            if enter < 0:
+                return LpStatus.OPTIMAL
+            col = tab_A[:, enter]
+            mask = col > _TOL
+            if not np.any(mask):
+                return LpStatus.UNBOUNDED
+            ratios = np.full(len(tab_b), np.inf)
+            ratios[mask] = tab_b[mask] / col[mask]
+            leave = int(np.argmin(ratios))
+            if bland:
+                # Smallest basis index among ties (Bland's rule).
+                best = ratios[leave]
+                cands = [
+                    i
+                    for i in range(len(tab_b))
+                    if mask[i] and ratios[i] <= best + _TOL
+                ]
+                leave = min(cands, key=lambda i: basis[i])
+            # Gaussian pivot on (leave, enter).
+            piv = tab_A[leave, enter]
+            tab_A[leave] /= piv
+            tab_b[leave] /= piv
+            for i in range(len(tab_b)):
+                if i != leave and abs(tab_A[i, enter]) > 0:
+                    f = tab_A[i, enter]
+                    tab_A[i] -= f * tab_A[leave]
+                    tab_b[i] -= f * tab_b[leave]
+            f = cost[enter]
+            if abs(f) > 0:
+                cost -= f * tab_A[leave]
+            basis[leave] = enter
+            # Stall detection: if the basic solution stops changing
+            # (degenerate pivots), switch to Bland's rule, which provably
+            # terminates.
+            proxy = float(tab_b.sum())
+            if abs(proxy - last_obj) <= _TOL:
+                stall += 1
+                if stall > 2 * len(tab_b) + 10:
+                    bland = True
+            else:
+                stall = 0
+            last_obj = proxy
+
+    # --- phase 1 -----------------------------------------------------------
+    tab_A = A.copy()
+    tab_b = b.copy()
+    if n_art:
+        cost1 = np.zeros(n_cols)
+        cost1[total:] = 1.0
+        # Canonicalize: subtract artificial rows from cost row.
+        for k, i in enumerate(art_rows):
+            cost1 -= tab_A[i]
+        status = pivot(tab_A, tab_b, cost1, basis)
+        if status == LpStatus.UNBOUNDED:  # pragma: no cover - impossible
+            raise LpError("phase-1 unbounded (internal error)")
+        # Objective of phase 1 = sum of artificials at the basic solution.
+        art_val = sum(
+            tab_b[i] for i in range(m_rows) if basis[i] >= total
+        )
+        if art_val > 1e-7 * max(1.0, float(np.abs(b).max())):
+            raise LpError(LpStatus.INFEASIBLE)
+        # Drive remaining (degenerate) artificials out of the basis.
+        for i in range(m_rows):
+            if basis[i] >= total:
+                row = tab_A[i, :total]
+                cand = np.flatnonzero(np.abs(row) > _TOL)
+                if cand.size:
+                    enter = int(cand[0])
+                    piv = tab_A[i, enter]
+                    tab_A[i] /= piv
+                    tab_b[i] /= piv
+                    for r in range(m_rows):
+                        if r != i and abs(tab_A[r, enter]) > 0:
+                            f = tab_A[r, enter]
+                            tab_A[r] -= f * tab_A[i]
+                            tab_b[r] -= f * tab_b[i]
+                    basis[i] = enter
+                # else: row is all-zero over real columns -> redundant row.
+
+    # --- phase 2 -----------------------------------------------------------
+    cost2 = np.zeros(n_cols)
+    cost2[:n] = obj
+    if n_art:
+        cost2[total:] = 1e12  # forbid re-entering artificials
+    # Canonicalize the cost row w.r.t. the current basis.
+    for i in range(m_rows):
+        j = basis[i]
+        if j >= 0 and abs(cost2[j]) > 0:
+            cost2 -= cost2[j] * tab_A[i]
+    status = pivot(tab_A, tab_b, cost2, basis)
+    if status == LpStatus.UNBOUNDED:
+        raise LpError(LpStatus.UNBOUNDED)
+
+    # --- extract solution ---------------------------------------------------
+    z = np.zeros(n_cols)
+    for i in range(m_rows):
+        if basis[i] >= 0:
+            z[basis[i]] = tab_b[i]
+    x = z[:n] + lo
+    objective = float(np.dot(obj, x))
+    return LpSolution(
+        status=LpStatus.OPTIMAL,
+        objective=objective,
+        values=tuple(float(v) for v in x),
+        backend="simplex",
+        iterations=iters,
+    )

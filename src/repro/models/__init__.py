@@ -1,0 +1,25 @@
+"""Speedup-profile models and repair utilities for malleable tasks."""
+
+from .profiles import (
+    amdahl_profile,
+    communication_profile,
+    linear_speedup_profile,
+    logarithmic_profile,
+    paper_counterexample_profile,
+    power_law_profile,
+    rigid_profile,
+)
+from .repair import concavify_speedup, enforce_assumptions, enforce_monotone
+
+__all__ = [
+    "amdahl_profile",
+    "communication_profile",
+    "linear_speedup_profile",
+    "logarithmic_profile",
+    "paper_counterexample_profile",
+    "power_law_profile",
+    "rigid_profile",
+    "concavify_speedup",
+    "enforce_assumptions",
+    "enforce_monotone",
+]

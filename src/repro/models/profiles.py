@@ -1,0 +1,138 @@
+"""Speedup-profile generators for malleable tasks.
+
+The paper's running example (end of Section 2, after Prasanna–Musicus) is
+the power-law profile ``p(l) = p(1) · l^(-d)`` with ``0 < d < 1``, whose
+speedup ``s(l) = l^d`` is concave — it satisfies Assumptions 1 and 2 for
+every ``m``.  This module provides that family plus other classic parallel
+speedup laws, each returning the discrete profile ``(p(1), ..., p(m))``
+ready to feed :class:`repro.core.MalleableTask`.
+
+Models whose raw form can violate the paper's assumptions (communication
+overhead, cache effects) are provided too, together with repair utilities in
+:mod:`repro.models.repair`; their docstrings state when they are safe.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+__all__ = [
+    "power_law_profile",
+    "amdahl_profile",
+    "logarithmic_profile",
+    "communication_profile",
+    "linear_speedup_profile",
+    "rigid_profile",
+    "paper_counterexample_profile",
+]
+
+
+def _check_m(m: int) -> None:
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+
+
+def power_law_profile(p1: float, d: float, m: int) -> List[float]:
+    """Prasanna–Musicus power-law profile ``p(l) = p1 · l^(-d)``.
+
+    ``s(l) = l^d`` is strictly concave for ``0 < d < 1`` (and linear for
+    ``d = 1``), so Assumptions 1 and 2 hold for every ``m``.  ``d`` is the
+    *parallelizability* exponent: ``d -> 0`` is a sequential task, ``d = 1``
+    is perfect linear speedup.
+    """
+    _check_m(m)
+    if p1 <= 0:
+        raise ValueError("p1 must be positive")
+    if not (0.0 < d <= 1.0):
+        raise ValueError(f"exponent d must be in (0, 1], got {d}")
+    return [p1 * l ** (-d) for l in range(1, m + 1)]
+
+
+def amdahl_profile(p1: float, serial_fraction: float, m: int) -> List[float]:
+    """Amdahl's-law profile ``p(l) = p1 · (f + (1 - f)/l)``.
+
+    ``f`` is the inherently serial fraction.  The speedup
+    ``s(l) = l / (f·l + 1 - f)`` is increasing and concave in ``l`` (its
+    second derivative is ``-2f(1-f)/(f·l + 1 - f)^3 <= 0``), so Assumptions
+    1 and 2 hold for every ``m`` and every ``f`` in ``[0, 1]``.
+    """
+    _check_m(m)
+    if p1 <= 0:
+        raise ValueError("p1 must be positive")
+    if not (0.0 <= serial_fraction <= 1.0):
+        raise ValueError("serial_fraction must be in [0, 1]")
+    f = serial_fraction
+    return [p1 * (f + (1.0 - f) / l) for l in range(1, m + 1)]
+
+
+def logarithmic_profile(p1: float, m: int, base: float = 2.0) -> List[float]:
+    """Logarithmic speedup ``s(l) = 1 + log_base(l)`` — heavy contention.
+
+    ``log`` is concave and ``s(1) = 1``; the l=0 concavity condition
+    ``s(2) - s(1) <= s(1) - s(0) = 1`` holds because ``log_base(2) <= 1``
+    for ``base >= 2``.  Models tasks dominated by a shared structure
+    (e.g. reduction trees with serialized roots).
+    """
+    _check_m(m)
+    if p1 <= 0:
+        raise ValueError("p1 must be positive")
+    if base < 2.0:
+        raise ValueError("base must be >= 2 for Assumption 2 to hold")
+    return [p1 / (1.0 + math.log(l, base)) for l in range(1, m + 1)]
+
+
+def communication_profile(
+    work: float, comm: float, m: int
+) -> List[float]:
+    """Computation + pairwise-communication profile
+    ``p(l) = work/l + comm·(l - 1)``.
+
+    This standard model (cf. LogP-style analyses) has a *minimum* at
+    ``l ≈ sqrt(work/comm)``: beyond it, adding processors **slows the task
+    down**, violating Assumption 1.  The raw profile is returned as-is;
+    pass it through :func:`repro.models.repair.enforce_assumptions` (or use
+    it only with ``m`` below the minimizer) before building a
+    :class:`~repro.core.MalleableTask` with validation on.
+    """
+    _check_m(m)
+    if work <= 0 or comm < 0:
+        raise ValueError("need work > 0 and comm >= 0")
+    return [work / l + comm * (l - 1) for l in range(1, m + 1)]
+
+
+def linear_speedup_profile(p1: float, m: int) -> List[float]:
+    """Perfect linear speedup ``p(l) = p1 / l`` (power law with d = 1).
+
+    The boundary case of Assumption 2: speedup is linear (weakly concave)
+    and the work is constant in ``l``.
+    """
+    return power_law_profile(p1, 1.0, m)
+
+
+def rigid_profile(p1: float, m: int) -> List[float]:
+    """A rigid (non-malleable) task: ``p(l) = p1`` for every ``l``.
+
+    Satisfies both assumptions trivially (constant time, speedup 1); its
+    canonical profile collapses to the single breakpoint ``l = 1``.
+    """
+    _check_m(m)
+    if p1 <= 0:
+        raise ValueError("p1 must be positive")
+    return [p1] * m
+
+
+def paper_counterexample_profile(m: int, delta: float = None) -> List[float]:
+    """The paper's Section 2 witness that Assumption 2' does not imply
+    Assumption 2: ``p(l) = 1 / (1 - δ + δ·l²)`` with ``0 < δ < 1/(m²+1)``.
+
+    The work ``l·p(l)`` is increasing (Assumption 2' holds) but the speedup
+    ``s(l) = (1 - δ + δ l²)`` is *convex*, so Assumption 2 fails for
+    ``m >= 3``.  Useful for testing the validators.
+    """
+    _check_m(m)
+    if delta is None:
+        delta = 0.5 / (m * m + 1)
+    if not (0.0 < delta < 1.0 / (m * m + 1)):
+        raise ValueError(f"delta must be in (0, 1/(m^2+1)), got {delta}")
+    return [1.0 / (1.0 - delta + delta * l * l) for l in range(1, m + 1)]

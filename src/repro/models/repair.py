@@ -1,0 +1,103 @@
+"""Repair utilities: project an arbitrary profile onto the paper's model.
+
+Real measured processing-time profiles (or analytic models with explicit
+communication terms) can violate Assumption 1 (time not monotone) or
+Assumption 2 (speedup not concave).  The paper's algorithm *requires* both;
+these helpers produce the closest well-formed profile:
+
+* :func:`enforce_monotone` — running-minimum projection for Assumption 1
+  (never uses a slower configuration when a faster one with fewer
+  processors exists: the scheduler can always leave processors idle).
+* :func:`concavify_speedup` — replaces the speedup curve by its least
+  concave majorant (upper convex hull through ``(0, 0)``), i.e. the
+  idealized contention-free speedup; processing times can only decrease.
+* :func:`enforce_assumptions` — both, in the right order; output always
+  passes :meth:`repro.core.MalleableTask.check_assumptions`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+__all__ = [
+    "enforce_monotone",
+    "concavify_speedup",
+    "enforce_assumptions",
+]
+
+
+def enforce_monotone(times: Sequence[float]) -> List[float]:
+    """Running minimum: ``p'(l) = min(p(1..l))``.
+
+    Physically: an allotment of ``l`` processors may simply idle the surplus
+    and run the fastest configuration with at most ``l`` processors, so the
+    effective processing time is the prefix minimum.  The result satisfies
+    Assumption 1 and dominates no entry of the input from below.
+    """
+    out: List[float] = []
+    best = float("inf")
+    for t in times:
+        t = float(t)
+        if t <= 0:
+            raise ValueError("processing times must be positive")
+        best = min(best, t)
+        out.append(best)
+    return out
+
+
+def concavify_speedup(times: Sequence[float]) -> List[float]:
+    """Least concave majorant of the speedup through ``(0, 0)``.
+
+    Computes the upper convex hull of the points
+    ``(0, 0), (1, s(1)), ..., (m, s(m))`` and reads the repaired profile off
+    the hull: ``p'(l) = p(1) / ŝ(l)``.  Since ``ŝ >= s`` pointwise, repaired
+    times satisfy ``p'(l) <= p(l)`` — the repair models the idealized
+    machine the paper's assumptions describe.  The hull speedup is concave
+    and non-decreasing, so the output satisfies Assumptions 1 **and** 2.
+    """
+    ts = [float(t) for t in times]
+    if not ts:
+        raise ValueError("profile must be non-empty")
+    if any(t <= 0 for t in ts):
+        raise ValueError("processing times must be positive")
+    p1 = ts[0]
+    pts: List[Tuple[float, float]] = [(0.0, 0.0)] + [
+        (float(l), p1 / ts[l - 1]) for l in range(1, len(ts) + 1)
+    ]
+    # Upper convex hull (Andrew's monotone chain, keeping clockwise turns).
+    hull: List[Tuple[float, float]] = []
+    for p in pts:
+        while len(hull) >= 2:
+            (x1, y1), (x2, y2) = hull[-2], hull[-1]
+            # Cross product of (hull[-1]-hull[-2]) x (p-hull[-2]); >= 0 means
+            # hull[-1] is under (or on) the chord hull[-2]->p: pop it.
+            if (x2 - x1) * (p[1] - y1) - (y2 - y1) * (p[0] - x1) >= 0:
+                hull.pop()
+            else:
+                break
+        hull.append(p)
+    # Evaluate the hull's piecewise-linear upper envelope at integer l.
+    out: List[float] = []
+    seg = 0
+    for l in range(1, len(ts) + 1):
+        x = float(l)
+        while seg + 1 < len(hull) and hull[seg + 1][0] < x:
+            seg += 1
+        (x1, y1) = hull[seg]
+        if seg + 1 < len(hull):
+            (x2, y2) = hull[seg + 1]
+            s_hat = y1 + (y2 - y1) * (x - x1) / (x2 - x1) if x2 > x1 else y2
+        else:
+            s_hat = y1
+        out.append(p1 / s_hat)
+    return out
+
+
+def enforce_assumptions(times: Sequence[float]) -> List[float]:
+    """Monotone projection followed by speedup concavification.
+
+    The returned profile satisfies Assumptions 1 and 2 (validated by the
+    test suite against :meth:`MalleableTask.check_assumptions`) and is
+    pointwise <= the monotone projection of the input.
+    """
+    return concavify_speedup(enforce_monotone(times))

@@ -1,0 +1,83 @@
+"""Dependency-free ASCII plotting for figures and reports.
+
+The environment has no matplotlib, so the figure benchmarks and examples
+render their series as text: :func:`ascii_line_chart` plots one or more
+(x, y) series on a character grid — enough to *see* the concave speedup
+of Fig. 1 or the A/B crossing of Figs. 3/4 in a terminal or a log file.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["ascii_line_chart", "ascii_bars"]
+
+
+def ascii_line_chart(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    width: int = 70,
+    height: int = 18,
+    title: str = "",
+) -> str:
+    """Render named (x, y) series as an ASCII chart.
+
+    Each series is drawn with the first character of its name; collisions
+    show the later series' mark.  Axes are annotated with the data range.
+    """
+    if not series or all(len(pts) == 0 for pts in series.values()):
+        return "(no data)"
+    if width < 10 or height < 4:
+        raise ValueError("chart too small")
+    xs = [p[0] for pts in series.values() for p in pts]
+    ys = [p[1] for pts in series.values() for p in pts]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi <= x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi <= y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" " for _ in range(width)] for _ in range(height)]
+
+    def put(x: float, y: float, ch: str) -> None:
+        c = int((x - x_lo) / (x_hi - x_lo) * (width - 1))
+        r = int((y - y_lo) / (y_hi - y_lo) * (height - 1))
+        grid[height - 1 - r][c] = ch
+
+    for name, pts in series.items():
+        mark = (name or "*")[0]
+        for (x, y) in pts:
+            put(x, y, mark)
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"y: [{y_lo:g}, {y_hi:g}]")
+    for row in grid:
+        lines.append("|" + "".join(row) + "|")
+    lines.append(f"x: [{x_lo:g}, {x_hi:g}]   " + "  ".join(
+        f"{(n or '*')[0]}={n}" for n in series
+    ))
+    return "\n".join(lines)
+
+
+def ascii_bars(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    title: str = "",
+) -> str:
+    """Horizontal bar chart: one row per (label, value)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not values:
+        return "(no data)"
+    peak = max(values)
+    if peak <= 0:
+        peak = 1.0
+    label_w = max(len(str(lab)) for lab in labels)
+    lines = [title] if title else []
+    for lab, val in zip(labels, values):
+        bar = "#" * max(0, int(round(val / peak * width)))
+        lines.append(f"{str(lab):>{label_w}} |{bar} {val:g}")
+    return "\n".join(lines)

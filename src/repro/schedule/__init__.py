@@ -1,0 +1,36 @@
+"""Schedule substrate: record type, validation, simulation, metrics."""
+
+from .compaction import compact_schedule
+from .gantt import render_gantt
+from .metrics import (
+    SlotClasses,
+    average_utilization,
+    busy_profile,
+    slot_classes,
+)
+from .schedule import Schedule, ScheduledTask
+from .simulator import SimulationEvent, SimulationTrace, simulate
+from .timeline import ResourceTimeline
+from .validator import (
+    InfeasibleScheduleError,
+    assert_feasible,
+    validate_schedule,
+)
+
+__all__ = [
+    "InfeasibleScheduleError",
+    "ResourceTimeline",
+    "Schedule",
+    "ScheduledTask",
+    "SimulationEvent",
+    "SimulationTrace",
+    "SlotClasses",
+    "assert_feasible",
+    "average_utilization",
+    "busy_profile",
+    "compact_schedule",
+    "render_gantt",
+    "simulate",
+    "slot_classes",
+    "validate_schedule",
+]

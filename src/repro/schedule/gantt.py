@@ -1,0 +1,69 @@
+"""ASCII Gantt rendering of schedules (for examples and debugging).
+
+Renders a schedule as a processor-rows × time-columns text chart.  The
+renderer assigns each task a concrete set of processor rows consistent with
+its allotment using a first-fit sweep (the paper's model only fixes *how
+many* processors a task uses; any concrete assignment of identical
+processors is equivalent).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .schedule import Schedule
+
+__all__ = ["render_gantt"]
+
+
+def render_gantt(
+    schedule: Schedule,
+    width: int = 78,
+    labels: Optional[Dict[int, str]] = None,
+) -> str:
+    """Render ``schedule`` as an ASCII chart of ``width`` columns.
+
+    Each processor is one row; characters are the last character of the
+    task label (task id mod 10 by default).  Idle time is ``.``.
+    """
+    if width < 10:
+        raise ValueError("width must be >= 10")
+    makespan = schedule.makespan
+    if makespan <= 0:
+        return "(empty schedule)"
+    m = schedule.m
+    cols = width
+    scale = makespan / cols
+
+    # Assign concrete processor rows by a first-fit sweep over start times.
+    rows_free_at = [0.0] * m  # per-row time when it becomes free
+    assignment: Dict[int, List[int]] = {}
+    for e in schedule.entries:
+        rows = [
+            r for r in range(m) if rows_free_at[r] <= e.start + 1e-9
+        ][: e.processors]
+        if len(rows) < e.processors:
+            # Fall back: take the rows freeing earliest (the schedule is
+            # feasible, so a consistent assignment exists; first-fit by
+            # start order may need this when ends tie within tolerance).
+            rows = sorted(range(m), key=lambda r: rows_free_at[r])[
+                : e.processors
+            ]
+        for r in rows:
+            rows_free_at[r] = e.end
+        assignment[e.task] = rows
+
+    grid = [["." for _ in range(cols)] for _ in range(m)]
+    for e in schedule.entries:
+        label = (labels or {}).get(e.task, str(e.task % 10))
+        ch = label[-1]
+        c0 = int(e.start / scale)
+        c1 = max(c0 + 1, int(e.end / scale))
+        for r in assignment[e.task]:
+            for c in range(c0, min(c1, cols)):
+                grid[r][c] = ch
+    header = f"time 0 .. {makespan:.3f}  ({m} processors, {schedule.n_tasks} tasks)"
+    lines = [header]
+    for r in range(m):
+        lines.append(f"p{r:<2d} |" + "".join(grid[r]) + "|")
+    return "\n".join(lines)

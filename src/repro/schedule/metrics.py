@@ -1,0 +1,91 @@
+"""Schedule metrics, including the T1/T2/T3 slot decomposition of Section 4.
+
+The paper's analysis partitions the schedule horizon ``[0, C_max]`` by the
+number of busy processors:
+
+* **T1** — at most ``μ − 1`` processors busy,
+* **T2** — between ``μ`` and ``m − μ`` processors busy,
+* **T3** — at least ``m − μ + 1`` processors busy
+
+(when ``μ = (m+1)/2`` with odd ``m``, T2 is empty).  Lemmas 4.3/4.4 bound
+``|T1|`` and ``|T2|`` against the LP optimum; :func:`slot_classes` measures
+them on a concrete schedule so the tests can check those lemmas
+empirically, and the heavy-path benchmark (Fig. 2) can display them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from .schedule import Schedule
+
+__all__ = ["SlotClasses", "slot_classes", "busy_profile", "average_utilization"]
+
+
+def busy_profile(schedule: Schedule) -> List[Tuple[float, int]]:
+    """Piecewise-constant busy-processor profile as (time, busy) pairs.
+
+    Entry ``(t_k, u_k)`` means ``u_k`` processors are busy on
+    ``[t_k, t_{k+1})``; the profile ends at the makespan.
+    """
+    events = []
+    for e in schedule.entries:
+        events.append((e.start, e.processors))
+        events.append((e.end, -e.processors))
+    events.sort()
+    profile: List[Tuple[float, int]] = []
+    busy = 0
+    i = 0
+    while i < len(events):
+        t = events[i][0]
+        while i < len(events) and events[i][0] == t:
+            busy += events[i][1]
+            i += 1
+        if profile and profile[-1][1] == busy:
+            continue
+        profile.append((t, busy))
+    return profile
+
+
+@dataclass(frozen=True)
+class SlotClasses:
+    """Measured lengths of the three slot classes for a given μ."""
+
+    mu: int
+    t1: float  #: total length with <= μ-1 busy processors
+    t2: float  #: total length with μ..m-μ busy processors
+    t3: float  #: total length with >= m-μ+1 busy processors
+
+    @property
+    def total(self) -> float:
+        """``|T1| + |T2| + |T3| = C_max`` (eq. (14))."""
+        return self.t1 + self.t2 + self.t3
+
+
+def slot_classes(schedule: Schedule, mu: int) -> SlotClasses:
+    """Measure ``|T1|, |T2|, |T3]`` on ``schedule`` for cap ``μ``."""
+    if not (1 <= mu <= (schedule.m + 1) // 2):
+        raise ValueError(
+            f"mu must be in [1, {(schedule.m + 1) // 2}], got {mu}"
+        )
+    m = schedule.m
+    prof = busy_profile(schedule)
+    makespan = schedule.makespan
+    t1 = t2 = t3 = 0.0
+    for k, (t, busy) in enumerate(prof):
+        end = prof[k + 1][0] if k + 1 < len(prof) else makespan
+        span = max(0.0, end - t)
+        if busy <= mu - 1:
+            t1 += span
+        elif busy <= m - mu:
+            t2 += span
+        else:
+            t3 += span
+    return SlotClasses(mu=mu, t1=t1, t2=t2, t3=t3)
+
+
+def average_utilization(schedule: Schedule) -> float:
+    """Total work divided by ``m · C_max`` (in ``[0, 1]``)."""
+    span = schedule.makespan * schedule.m
+    return schedule.total_work / span if span > 0 else 0.0

@@ -1,0 +1,130 @@
+"""Schedule record type.
+
+A feasible schedule (Section 1) assigns every task a starting time ``τ_j``
+and a processor count ``l_j``; the task is *active* on ``[τ_j, C_j)`` with
+``C_j = τ_j + p_j(l_j)``.  Feasibility requires (i) at most ``m`` active
+processors at any time and (ii) ``C_i <= τ_j`` for every arc ``(i, j)``.
+:class:`Schedule` stores the assignment; the checks live in
+:mod:`repro.schedule.validator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["ScheduledTask", "Schedule"]
+
+
+@dataclass(frozen=True)
+class ScheduledTask:
+    """One task's placement: start time, allotment, duration."""
+
+    task: int
+    start: float
+    processors: int
+    duration: float
+
+    @property
+    def end(self) -> float:
+        """Completion time ``C_j = τ_j + p_j(l_j)``."""
+        return self.start + self.duration
+
+
+class Schedule:
+    """An assignment of start times and allotments to all tasks.
+
+    Parameters
+    ----------
+    m:
+        Machine size the schedule targets.
+    entries:
+        One :class:`ScheduledTask` per task id; ids must be unique.
+    """
+
+    __slots__ = ("_m", "_entries", "_by_task")
+
+    def __init__(self, m: int, entries: Iterable[ScheduledTask]):
+        if m < 1:
+            raise ValueError(f"m must be >= 1, got {m}")
+        self._m = int(m)
+        ent = tuple(sorted(entries, key=lambda e: (e.start, e.task)))
+        by_task: Dict[int, ScheduledTask] = {}
+        for e in ent:
+            if e.task in by_task:
+                raise ValueError(f"duplicate entry for task {e.task}")
+            if e.start < 0:
+                raise ValueError(f"task {e.task} starts at {e.start} < 0")
+            if e.duration <= 0:
+                raise ValueError(
+                    f"task {e.task} has non-positive duration {e.duration}"
+                )
+            if not (1 <= e.processors <= m):
+                raise ValueError(
+                    f"task {e.task} uses {e.processors} processors, "
+                    f"machine has {m}"
+                )
+            by_task[e.task] = e
+        self._entries = ent
+        self._by_task = by_task
+
+    # ------------------------------------------------------------------
+    @property
+    def m(self) -> int:
+        """Machine size."""
+        return self._m
+
+    @property
+    def entries(self) -> Tuple[ScheduledTask, ...]:
+        """All placements, sorted by start time."""
+        return self._entries
+
+    @property
+    def n_tasks(self) -> int:
+        """Number of scheduled tasks."""
+        return len(self._entries)
+
+    def __getitem__(self, task: int) -> ScheduledTask:
+        return self._by_task[task]
+
+    def __contains__(self, task: int) -> bool:
+        return task in self._by_task
+
+    def __iter__(self):
+        return iter(self._entries)
+
+    # ------------------------------------------------------------------
+    @property
+    def makespan(self) -> float:
+        """``C_max`` — latest completion time (0 for an empty schedule)."""
+        return max((e.end for e in self._entries), default=0.0)
+
+    @property
+    def total_work(self) -> float:
+        """``Σ_j l_j · p_j(l_j)`` — processor-time volume used."""
+        return sum(e.processors * e.duration for e in self._entries)
+
+    def allotment(self, n_tasks: Optional[int] = None) -> List[int]:
+        """The allotment vector ``l_j`` (tasks must be 0..n-1 complete)."""
+        n = n_tasks if n_tasks is not None else len(self._entries)
+        out = [0] * n
+        for e in self._entries:
+            if not (0 <= e.task < n):
+                raise ValueError(
+                    f"task id {e.task} outside 0..{n - 1}"
+                )
+            out[e.task] = e.processors
+        if any(v == 0 for v in out):
+            missing = [j for j, v in enumerate(out) if v == 0]
+            raise ValueError(f"schedule is missing tasks {missing}")
+        return out
+
+    def completion_times(self) -> Dict[int, float]:
+        """Map task id -> completion time."""
+        return {e.task: e.end for e in self._entries}
+
+    def __repr__(self) -> str:
+        return (
+            f"Schedule(m={self._m}, tasks={self.n_tasks}, "
+            f"makespan={self.makespan:g})"
+        )

@@ -1,0 +1,75 @@
+"""Analysis of Section 4: ratio bounds, NLP solvers, asymptotics, tables."""
+
+from .asymptotic import (
+    asymptotic_mu_fraction,
+    asymptotic_polynomial_coefficients,
+    asymptotic_ratio,
+    asymptotic_rho,
+    equation21_coefficients,
+    optimal_rho,
+)
+from .ltw import (
+    LTWParameters,
+    ltw_asymptotic_ratio,
+    ltw_parameters,
+    ltw_ratio_bound,
+)
+from .minmax import (
+    GridOptimum,
+    branch_a,
+    branch_b,
+    branch_functions,
+    grid_minimize,
+)
+from .ratio import (
+    corollary41_constant,
+    lemma47_bound,
+    lemma49_bound,
+    max_mu,
+    mu_hat,
+    ratio_bound,
+    theorem41_bound,
+)
+from .tables import (
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    TableRow,
+    format_table,
+    table2,
+    table3,
+    table4,
+)
+
+__all__ = [
+    "GridOptimum",
+    "LTWParameters",
+    "PAPER_TABLE2",
+    "PAPER_TABLE3",
+    "PAPER_TABLE4",
+    "TableRow",
+    "asymptotic_mu_fraction",
+    "asymptotic_polynomial_coefficients",
+    "asymptotic_ratio",
+    "asymptotic_rho",
+    "branch_a",
+    "branch_b",
+    "branch_functions",
+    "corollary41_constant",
+    "equation21_coefficients",
+    "format_table",
+    "grid_minimize",
+    "lemma47_bound",
+    "lemma49_bound",
+    "ltw_asymptotic_ratio",
+    "ltw_parameters",
+    "ltw_ratio_bound",
+    "max_mu",
+    "mu_hat",
+    "optimal_rho",
+    "ratio_bound",
+    "table2",
+    "table3",
+    "table4",
+    "theorem41_bound",
+]

@@ -1,0 +1,119 @@
+"""Asymptotic analysis of the approximation ratio (Section 4.3).
+
+Setting the ρ-derivative of the balanced objective to zero and clearing
+the square root, the paper arrives at the polynomial equation (21)
+
+    m² (1+m) (1+ρ)² · Σ_{i=0..6} c_i ρ^i = 0
+
+with m-dependent coefficients ``c_i`` (transcribed below).  Degree-6
+polynomials have no radical solutions in general, which is why the paper
+fixes ``ρ̂* = 0.26``; but numerically:
+
+* for finite m, :func:`optimal_rho` finds the real roots of Σ c_i ρ^i in
+  (0, 1) and returns the one minimizing the true objective (squaring can
+  introduce spurious roots, so each candidate is validated against the
+  grid objective);
+* as m → ∞ the equation tends to
+  ``ρ⁶ + 6ρ⁵ + 3ρ⁴ + 14ρ³ + 21ρ² + 24ρ − 8 = 0`` whose unique root in
+  (0, 1) is ``ρ* ≈ 0.261917`` (:func:`asymptotic_rho`), giving
+  ``μ*/m → 0.325907`` and the asymptotic ratio ``r → 3.291913``
+  (:func:`asymptotic_ratio`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from ..core.parameters import mu_hat
+from .minmax import branch_a
+
+__all__ = [
+    "equation21_coefficients",
+    "asymptotic_polynomial_coefficients",
+    "optimal_rho",
+    "asymptotic_rho",
+    "asymptotic_mu_fraction",
+    "asymptotic_ratio",
+]
+
+
+def equation21_coefficients(m: int) -> List[float]:
+    """Coefficients ``(c_0, ..., c_6)`` of eq. (21) for finite ``m``::
+
+        c0 = -8 (m-1)² (m-2)
+        c1 =  8 (m-1)(m-2)(3m-2)
+        c2 =  21m³ - 59m² + 16m + 24
+        c3 =  2 (m+1)(7m² - 7m - 4)
+        c4 =  3m³ - 7m² + 15m + 1
+        c5 =  2m (3m² - 4m - 1)
+        c6 =  m² (m+1)
+    """
+    if m < 2:
+        raise ValueError(f"m must be >= 2, got {m}")
+    return [
+        -8.0 * (m - 1) ** 2 * (m - 2),
+        8.0 * (m - 1) * (m - 2) * (3 * m - 2),
+        21.0 * m**3 - 59.0 * m**2 + 16.0 * m + 24.0,
+        2.0 * (m + 1) * (7.0 * m**2 - 7.0 * m - 4.0),
+        3.0 * m**3 - 7.0 * m**2 + 15.0 * m + 1.0,
+        2.0 * m * (3.0 * m**2 - 4.0 * m - 1.0),
+        float(m * m * (m + 1)),
+    ]
+
+
+def asymptotic_polynomial_coefficients() -> List[float]:
+    """The m → ∞ limit polynomial
+    ``ρ⁶ + 6ρ⁵ + 3ρ⁴ + 14ρ³ + 21ρ² + 24ρ − 8`` as ``(c_0, ..., c_6)``."""
+    return [-8.0, 24.0, 21.0, 14.0, 3.0, 6.0, 1.0]
+
+
+def _roots_in_unit_interval(coeffs_low_to_high: List[float]) -> List[float]:
+    """Real roots of Σ c_i x^i lying in (0, 1)."""
+    roots = np.roots(list(reversed(coeffs_low_to_high)))
+    out = []
+    for r in roots:
+        if abs(r.imag) < 1e-9 and 0.0 < r.real < 1.0:
+            out.append(float(r.real))
+    return sorted(out)
+
+
+def optimal_rho(m: int) -> float:
+    """Stationary ρ of the balanced objective for finite ``m``.
+
+    Solves eq. (21) numerically, filters roots to (0, 1), and picks the one
+    minimizing ``A(μ*(ρ), ρ)`` (eq. (21) was obtained by squaring, so
+    spurious roots must be screened out).
+    """
+    candidates = _roots_in_unit_interval(equation21_coefficients(m))
+    if not candidates:
+        raise ArithmeticError(f"no stationary rho in (0, 1) for m={m}")
+    return min(candidates, key=lambda r: branch_a(m, mu_hat(m, r), r))
+
+
+def asymptotic_rho() -> float:
+    """``ρ* ≈ 0.261917`` — the unique (0, 1) root of the limit polynomial."""
+    roots = _roots_in_unit_interval(asymptotic_polynomial_coefficients())
+    assert len(roots) == 1, roots
+    return roots[0]
+
+
+def asymptotic_mu_fraction(rho: float = None) -> float:
+    """``μ*/m → (2 + ρ − sqrt(ρ² + 2ρ + 2)) / 2 ≈ 0.325907`` at ρ*."""
+    if rho is None:
+        rho = asymptotic_rho()
+    return (2.0 + rho - math.sqrt(rho * rho + 2.0 * rho + 2.0)) / 2.0
+
+
+def asymptotic_ratio(rho: float = None) -> float:
+    """The m → ∞ approximation ratio at ρ (default ρ*): ``≈ 3.291913``.
+
+    Limit of ``A(μ* ν m, ρ)``:
+    ``r = [2/(2-ρ) + 2(1-ν)/(1+ρ)] / (1-ν)`` with ``ν = μ*/m``.
+    """
+    if rho is None:
+        rho = asymptotic_rho()
+    nu = asymptotic_mu_fraction(rho)
+    return (2.0 / (2.0 - rho) + 2.0 * (1.0 - nu) / (1.0 + rho)) / (1.0 - nu)

@@ -1,0 +1,71 @@
+"""Ratio formula of the Lepère–Trystram–Woeginger algorithm [18] (Table 3).
+
+[18] rounds the time-cost-tradeoff relaxation with the symmetric Skutella
+parameter, stretching both the critical path and the total work by at most
+a factor 2, and list-schedules with cap μ.  Their slot analysis uses the
+*product* bound for T2 tasks — a task rounded (×2) and then squeezed from
+``l' > μ`` down to ``μ`` processors is charged ``2·(m/μ)`` — rather than
+the sharper ``max{2/(1+ρ), m/μ}`` of this paper's Lemma 4.3.  The resulting
+bound is
+
+    r_LTW(m, μ) = [ 2m + max( 2(m-μ), (m-2μ+1) · 2m/μ ) ] / (m - μ + 1),
+
+minimized over ``μ ∈ {1, ..., ⌊(m+1)/2⌋}``.  This formula reproduces every
+``r(m)`` entry of the paper's Table 3 exactly; the minimizing μ matches the
+paper's μ column everywhere except ``m = 26``, where the paper prints
+``μ = 10`` next to ``r = 5.125`` although μ = 10 gives 5.200 — the printed
+ratio corresponds to ``μ = 11`` (an apparent typo; see EXPERIMENTS.md).
+
+As ``m → ∞`` the minimum tends to ``3 + √5 ≈ 5.236`` — [18]'s headline
+ratio — at ``μ/m → (3 - √5)/2 ≈ 0.3820`` (where the two inner-max branches
+balance: ``(4-2ν)/(1-ν) = 2/ν`` gives ``ν² - 3ν + 1 = 0``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.parameters import max_mu
+
+__all__ = ["ltw_ratio_bound", "ltw_parameters", "LTWParameters", "ltw_asymptotic_ratio"]
+
+
+def ltw_ratio_bound(m: int, mu: int) -> float:
+    """``r_LTW(m, μ)`` — [18]'s proven ratio at cap μ."""
+    if m < 2:
+        raise ValueError(f"m must be >= 2, got {m}")
+    if not (1 <= mu <= max_mu(m)):
+        raise ValueError(f"mu must be in [1, {max_mu(m)}], got {mu}")
+    inner = max(
+        0.0,
+        2.0 * (m - mu),
+        (m - 2 * mu + 1) * 2.0 * m / mu,
+    )
+    return (2.0 * m + inner) / (m - mu + 1)
+
+
+@dataclass(frozen=True)
+class LTWParameters:
+    """Optimal cap and proven ratio of the LTW algorithm for machine m."""
+
+    m: int
+    mu: int
+    ratio: float
+
+
+def ltw_parameters(m: int) -> LTWParameters:
+    """Minimize ``r_LTW(m, μ)`` over admissible μ."""
+    if m < 2:
+        raise ValueError(f"m must be >= 2, got {m}")
+    best_mu = min(
+        range(1, max_mu(m) + 1), key=lambda mu: ltw_ratio_bound(m, mu)
+    )
+    return LTWParameters(
+        m=m, mu=best_mu, ratio=ltw_ratio_bound(m, best_mu)
+    )
+
+
+def ltw_asymptotic_ratio() -> float:
+    """The m → ∞ limit ``3 + √5 ≈ 5.236`` of [18]'s bound."""
+    return 3.0 + math.sqrt(5.0)

@@ -1,0 +1,107 @@
+"""Solvers for the min–max nonlinear programs (17)/(18) of Section 4.
+
+For fixed ``(μ, ρ)`` the inner maximization over ``(x₁, x₂)`` is linear
+over a simplex-like polytope, so it is evaluated exactly at the vertices
+(:func:`repro.core.parameters.ratio_bound`).  The outer minimization is
+solved two ways:
+
+* :func:`grid_minimize` — the paper's own numerical method (Section 4.3,
+  Table 4): a grid over ``ρ ∈ [0, 1]`` with step ``δρ`` and integer
+  ``μ ∈ {1..⌊(m+1)/2⌋}``;
+* :func:`branch_functions` — the two competing branch values
+  ``A(μ, ρ)`` (the ``x₁`` vertex active) and ``B(μ, ρ)`` (the ``x₂``
+  vertex active) whose crossing Lemma 4.6 exploits; these also generate
+  the Fig. 3/Fig. 4 curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..core.parameters import max_mu, ratio_bound
+
+__all__ = [
+    "branch_a",
+    "branch_b",
+    "branch_functions",
+    "GridOptimum",
+    "grid_minimize",
+]
+
+
+def branch_a(m: int, mu: float, rho: float) -> float:
+    """Branch A of the inner max: the ``x₁ = 2/(1+ρ)`` vertex,
+
+    ``A(μ, ρ) = [2m/(2-ρ) + (m-μ)·2/(1+ρ)] / (m-μ+1)``.
+
+    ``μ`` may be fractional here — Section 4.3 studies A/B as continuous
+    functions when locating the optimal ρ.
+    """
+    return (2.0 * m / (2.0 - rho) + (m - mu) * 2.0 / (1.0 + rho)) / (
+        m - mu + 1.0
+    )
+
+
+def branch_b(m: int, mu: float, rho: float) -> float:
+    """Branch B of the inner max: the ``x₂`` vertex,
+
+    ``B(μ, ρ) = [2m/(2-ρ) + (m-2μ+1)·max(m/μ, 2/(1+ρ))] / (m-μ+1)``.
+    """
+    x2 = max(m / mu, 2.0 / (1.0 + rho))
+    return (
+        2.0 * m / (2.0 - rho) + max(0.0, (m - 2.0 * mu + 1.0)) * x2
+    ) / (m - mu + 1.0)
+
+
+def branch_functions(
+    m: int, mu: float, rho: float
+) -> Tuple[float, float]:
+    """``(A, B)`` at the given point (see Fig. 3/Fig. 4 and Lemma 4.6)."""
+    return branch_a(m, mu, rho), branch_b(m, mu, rho)
+
+
+@dataclass(frozen=True)
+class GridOptimum:
+    """Optimal grid point of NLP (17)/(18) for one machine size."""
+
+    m: int
+    mu: int
+    rho: float
+    ratio: float
+
+
+def grid_minimize(m: int, rho_step: float = 1e-4) -> GridOptimum:
+    """Grid search over ``(μ, ρ)`` exactly as Section 4.3 describes.
+
+    For each integer μ the optimal ρ is found by scanning
+    ``ρ = 0, δρ, 2δρ, ..., 1``; the overall best (μ, ρ) pair is returned.
+    Reproduces the paper's Table 4 at ``δρ = 1e-4``.
+    """
+    if m < 2:
+        raise ValueError(f"m must be >= 2, got {m}")
+    if not (0.0 < rho_step <= 0.5):
+        raise ValueError(f"rho_step must be in (0, 0.5], got {rho_step}")
+    import numpy as np
+
+    steps = int(round(1.0 / rho_step))
+    rho = np.minimum(1.0, np.arange(steps + 1) * rho_step)
+    x1_max = 2.0 / (1.0 + rho)
+    base = 2.0 * m / (2.0 - rho)
+    best: GridOptimum = GridOptimum(
+        m=m, mu=1, rho=0.0, ratio=ratio_bound(m, 1, 0.0)
+    )
+    for mu in range(1, max_mu(m) + 1):
+        # Vectorized vertex evaluation of ratio_bound over the whole ρ grid.
+        x2_max = np.maximum(m / mu, x1_max)
+        inner = np.maximum(
+            0.0,
+            np.maximum((m - mu) * x1_max, (m - 2 * mu + 1) * x2_max),
+        )
+        r = (base + inner) / (m - mu + 1)
+        k = int(np.argmin(r))
+        if r[k] < best.ratio - 1e-15:
+            best = GridOptimum(
+                m=m, mu=mu, rho=float(rho[k]), ratio=float(r[k])
+            )
+    return best

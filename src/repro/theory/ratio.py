@@ -1,0 +1,95 @@
+"""Closed-form ratio bounds of Section 4 (Lemmas 4.7/4.9, Theorem 4.1).
+
+All formulas are transcribed from the paper and cross-checked against each
+other and against the vertex evaluation of NLP (17)
+(:func:`repro.core.parameters.ratio_bound`) by the test suite.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.parameters import (  # re-exported for convenience
+    max_mu,
+    mu_hat,
+    ratio_bound,
+)
+
+__all__ = [
+    "ratio_bound",
+    "mu_hat",
+    "max_mu",
+    "lemma47_bound",
+    "lemma49_bound",
+    "theorem41_bound",
+    "corollary41_constant",
+]
+
+
+def lemma47_bound(m: int) -> float:
+    """Lemma 4.7: best bound attainable in the regime ``ρ <= 2μ/m - 1``.
+
+    ::
+
+        r <= 2(2+√3)/3                                  if m = 3
+             2(7+2√10)/9                                if m = 5
+             2m(4m²-m+1) / [(m+1)²(2m-1)]               if m >= 7, m odd
+             4m/(m+2)                                   otherwise
+    """
+    if m < 2:
+        raise ValueError(f"m must be >= 2, got {m}")
+    if m == 3:
+        return 2.0 * (2.0 + math.sqrt(3.0)) / 3.0
+    if m == 5:
+        return 2.0 * (7.0 + 2.0 * math.sqrt(10.0)) / 9.0
+    if m >= 7 and m % 2 == 1:
+        return (
+            2.0 * m * (4.0 * m * m - m + 1.0)
+            / ((m + 1.0) ** 2 * (2.0 * m - 1.0))
+        )
+    return 4.0 * m / (m + 2.0)
+
+
+def lemma49_bound(m: int) -> float:
+    """Lemma 4.9: bound for the regime ``ρ > 2μ/m - 1`` with the paper's
+    fixed ``ρ̂* = 0.26`` and ``μ̂*`` of eq. (20)::
+
+        r <= 100/63 + (100/345303) (63m-87)(√(6469m²-6300m) + 13m)/(m²-m)
+    """
+    if m < 2:
+        raise ValueError(f"m must be >= 2, got {m}")
+    disc = math.sqrt(6469.0 * m * m - 6300.0 * m)
+    return 100.0 / 63.0 + (100.0 / 345303.0) * (63.0 * m - 87.0) * (
+        disc + 13.0 * m
+    ) / (m * m - m)
+
+
+def theorem41_bound(m: int) -> float:
+    """Theorem 4.1: the paper's proven approximation ratio for each ``m``.
+
+    ::
+
+        r <= 2                  if m = 2
+             2(2+√3)/3          if m = 3
+             8/3                if m = 4
+             2(7+2√10)/9        if m = 5
+             lemma49_bound(m)   otherwise
+    """
+    if m < 2:
+        raise ValueError(f"m must be >= 2, got {m}")
+    if m == 2:
+        return 2.0
+    if m == 3:
+        return 2.0 * (2.0 + math.sqrt(3.0)) / 3.0
+    if m == 4:
+        return 8.0 / 3.0
+    if m == 5:
+        return 2.0 * (7.0 + 2.0 * math.sqrt(10.0)) / 9.0
+    return lemma49_bound(m)
+
+
+def corollary41_constant() -> float:
+    """Corollary 4.1: the uniform bound
+    ``100/63 + 100(√6469 + 13)/5481 ≈ 3.291919`` valid for every m >= 2,
+    and the m → ∞ limit of Theorem 4.1's bound."""
+    return 100.0 / 63.0 + 100.0 * (math.sqrt(6469.0) + 13.0) / 5481.0

@@ -1,0 +1,110 @@
+"""Tests for the analytics and ASCII plotting helpers."""
+
+import pytest
+
+from repro import Instance, jz_schedule
+from repro.analysis import (
+    instance_stats,
+    parallelism_profile,
+    summarize_schedule,
+)
+from repro.dag import chain_dag, diamond_dag, independent_dag, layered_dag
+from repro.models import power_law_profile
+from repro.plotting import ascii_bars, ascii_line_chart
+
+
+def make_inst(dag, m, d=0.6):
+    return Instance.from_profile_fn(
+        dag, m, lambda j: power_law_profile(10.0, d, m)
+    )
+
+
+class TestInstanceStats:
+    def test_chain(self):
+        inst = make_inst(chain_dag(5), 4)
+        s = instance_stats(inst)
+        assert s.depth == 5
+        assert s.width == 1
+        assert s.avg_parallelism == pytest.approx(1.0)
+
+    def test_independent(self):
+        inst = make_inst(independent_dag(6), 4)
+        s = instance_stats(inst)
+        assert s.depth == 1
+        assert s.width == 6
+        assert s.avg_parallelism == pytest.approx(6.0)
+
+    def test_diamond(self):
+        inst = make_inst(diamond_dag(3), 4)
+        s = instance_stats(inst)
+        assert s.depth == 3
+        assert s.width == 3
+        assert s.n_tasks == 5
+
+    def test_malleability_range(self):
+        inst = make_inst(layered_dag(10, 3, 0.5, seed=1), 8, d=1.0)
+        s = instance_stats(inst)
+        assert s.malleability == pytest.approx(1.0)  # linear speedup
+        inst2 = make_inst(layered_dag(10, 3, 0.5, seed=1), 8, d=0.2)
+        assert instance_stats(inst2).malleability < 0.5
+
+
+class TestScheduleSummary:
+    def test_fields_consistent(self):
+        inst = make_inst(layered_dag(12, 4, 0.5, seed=2), 4)
+        res = jz_schedule(inst)
+        summary = summarize_schedule(inst, res.schedule)
+        assert summary.makespan == pytest.approx(res.makespan)
+        assert 0 < summary.utilization <= 1.0
+        assert summary.ratio_vs_trivial >= 1.0 - 1e-9
+
+    def test_parallelism_profile_integrates_to_work(self):
+        inst = make_inst(layered_dag(12, 4, 0.5, seed=2), 4)
+        res = jz_schedule(inst)
+        prof = parallelism_profile(res.schedule, n_bins=50)
+        area = sum(prof) * (res.makespan / 50)
+        assert area == pytest.approx(res.schedule.total_work, rel=1e-6)
+
+    def test_profile_empty_schedule(self):
+        from repro.schedule import Schedule
+
+        assert parallelism_profile(Schedule(2, []), 10) == []
+
+
+class TestAsciiCharts:
+    def test_line_chart_contains_marks(self):
+        chart = ascii_line_chart(
+            {"A": [(0, 0), (1, 1), (2, 4)], "B": [(0, 4), (2, 0)]},
+            width=30,
+            height=8,
+            title="demo",
+        )
+        assert "demo" in chart
+        assert "A" in chart and "B" in chart
+
+    def test_line_chart_empty(self):
+        assert ascii_line_chart({}) == "(no data)"
+        assert ascii_line_chart({"A": []}) == "(no data)"
+
+    def test_line_chart_size_guard(self):
+        with pytest.raises(ValueError):
+            ascii_line_chart({"A": [(0, 0)]}, width=5)
+
+    def test_line_chart_degenerate_ranges(self):
+        # Single point: both ranges degenerate; must not crash.
+        chart = ascii_line_chart({"A": [(1.0, 1.0)]})
+        assert "|" in chart
+
+    def test_bars(self):
+        out = ascii_bars(["x", "yy"], [1.0, 2.0], width=10, title="t")
+        assert "t" in out
+        assert out.count("#") >= 10  # the peak bar is full width
+
+    def test_bars_guards(self):
+        with pytest.raises(ValueError):
+            ascii_bars(["a"], [1.0, 2.0])
+        assert ascii_bars([], []) == "(no data)"
+
+    def test_bars_zero_values(self):
+        out = ascii_bars(["a"], [0.0])
+        assert "a" in out

@@ -1,0 +1,112 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.family == "layered"
+        assert args.processors == 8
+
+
+class TestCommands:
+    def test_demo(self, capsys):
+        assert main(["demo", "--size", "10", "-m", "4", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out
+        assert "observed ratio" in out
+
+    def test_params(self, capsys):
+        assert main(["params", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "mu=6" in out and "rho=0.26" in out
+
+    @pytest.mark.parametrize("which", ["2", "3"])
+    def test_tables(self, which, capsys):
+        assert main(["tables", which, "--m-max", "6"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("\n") >= 5
+
+    def test_table4_small(self, capsys):
+        assert main(["tables", "4", "--m-max", "4"]) == 0
+
+    def test_generate_and_solve(self, tmp_path, capsys):
+        inst_path = tmp_path / "inst.json"
+        assert (
+            main(
+                [
+                    "generate",
+                    "--family",
+                    "diamond",
+                    "--size",
+                    "8",
+                    "-m",
+                    "4",
+                    "-o",
+                    str(inst_path),
+                ]
+            )
+            == 0
+        )
+        data = json.loads(inst_path.read_text())
+        assert data["format"] == "repro-instance"
+
+        sched_path = tmp_path / "sched.json"
+        assert (
+            main(["solve", str(inst_path), "-o", str(sched_path), "--gantt"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "makespan=" in out
+        assert sched_path.exists()
+
+        # Validate the produced schedule.
+        assert main(["validate", str(inst_path), str(sched_path)]) == 0
+        out = capsys.readouterr().out
+        assert "feasible" in out
+
+    def test_generate_stdout(self, capsys):
+        assert main(["generate", "--family", "chain", "--size", "4"]) == 0
+        out = capsys.readouterr().out
+        assert '"repro-instance"' in out
+
+    @pytest.mark.parametrize(
+        "algorithm", ["jz", "ltw", "sequential", "full", "greedy"]
+    )
+    def test_solve_all_algorithms(self, algorithm, tmp_path, capsys):
+        inst_path = tmp_path / "inst.json"
+        main(
+            ["generate", "--family", "layered", "--size", "10", "-m", "4",
+             "--seed", "2", "-o", str(inst_path)]
+        )
+        capsys.readouterr()
+        assert (
+            main(["solve", str(inst_path), "--algorithm", algorithm]) == 0
+        )
+        assert "makespan=" in capsys.readouterr().out
+
+    def test_validate_rejects_tampered_schedule(self, tmp_path, capsys):
+        inst_path = tmp_path / "inst.json"
+        sched_path = tmp_path / "sched.json"
+        main(
+            ["generate", "--family", "diamond", "--size", "6", "-m", "4",
+             "--seed", "3", "-o", str(inst_path)]
+        )
+        main(["solve", str(inst_path), "-o", str(sched_path)])
+        data = json.loads(sched_path.read_text())
+        # Introduce a genuine precedence violation: start everything at 0.
+        for e in data["entries"]:
+            e["start"] = 0.0
+        sched_path.write_text(json.dumps(data))
+        capsys.readouterr()
+        assert main(["validate", str(inst_path), str(sched_path)]) == 1
+        assert "INFEASIBLE" in capsys.readouterr().out

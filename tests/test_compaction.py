@@ -1,0 +1,115 @@
+"""Tests for the left-shift compaction post-pass."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Instance, MalleableTask, assert_feasible, jz_schedule
+from repro.dag import Dag, erdos_renyi_dag, layered_dag
+from repro.models import power_law_profile
+from repro.schedule import (
+    Schedule,
+    ScheduledTask,
+    compact_schedule,
+    validate_schedule,
+)
+
+
+class TestCompaction:
+    def test_removes_artificial_gap(self):
+        """A schedule with a gratuitous delay gets left-shifted."""
+        inst = Instance(
+            [MalleableTask([2.0, 1.0]), MalleableTask([2.0, 1.0])],
+            Dag(2, [(0, 1)]),
+            2,
+        )
+        loose = Schedule(
+            2,
+            [
+                ScheduledTask(0, 0.0, 2, 1.0),
+                ScheduledTask(1, 5.0, 2, 1.0),  # gap of 4
+            ],
+        )
+        tight = compact_schedule(inst, loose)
+        assert tight.makespan == pytest.approx(2.0)
+        assert_feasible(inst, tight)
+
+    def test_never_worse(self):
+        inst = Instance(
+            [MalleableTask([3.0, 2.0])], Dag(1), 2
+        )
+        s = Schedule(2, [ScheduledTask(0, 0.0, 1, 3.0)])
+        out = compact_schedule(inst, s)
+        assert out.makespan <= s.makespan
+
+    def test_preserves_allotments(self):
+        inst = Instance(
+            [MalleableTask([4.0, 2.0]), MalleableTask([4.0, 2.0])],
+            Dag(2),
+            2,
+        )
+        s = Schedule(
+            2,
+            [
+                ScheduledTask(0, 1.0, 2, 2.0),
+                ScheduledTask(1, 3.0, 1, 4.0),
+            ],
+        )
+        out = compact_schedule(inst, s)
+        assert out[0].processors == 2
+        assert out[1].processors == 1
+
+    def test_jz_schedules_already_tight(self):
+        """LIST starts every task at its earliest feasible time given its
+        commitment order, so compaction with the same order is a no-op."""
+        inst = Instance.from_profile_fn(
+            layered_dag(16, 4, 0.5, seed=3),
+            6,
+            lambda j: power_law_profile(10.0, 0.6, 6),
+        )
+        res = jz_schedule(inst)
+        out = compact_schedule(inst, res.schedule)
+        assert out.makespan == pytest.approx(res.makespan)
+
+    @given(
+        n=st.integers(2, 10),
+        m=st.integers(2, 4),
+        seed=st.integers(0, 10**5),
+    )
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_output_always_feasible_and_no_worse(self, n, m, seed):
+        rng = random.Random(seed)
+        dag = erdos_renyi_dag(n, 0.3, seed=seed)
+        inst = Instance(
+            [
+                MalleableTask(
+                    power_law_profile(
+                        rng.uniform(1, 8), rng.uniform(0.2, 1.0), m
+                    )
+                )
+                for _ in range(n)
+            ],
+            dag,
+            m,
+        )
+        # Build a feasible but sloppy schedule: serialize everything in
+        # topological order with random delays.
+        t = 0.0
+        entries = []
+        for j in dag.topological_order():
+            t += rng.uniform(0.0, 2.0)
+            l = rng.randint(1, m)
+            dur = inst.task(j).time(l)
+            entries.append(ScheduledTask(j, t, l, dur))
+            t += dur
+        sloppy = Schedule(m, entries)
+        assert validate_schedule(inst, sloppy) == []
+        out = compact_schedule(inst, sloppy)
+        assert validate_schedule(inst, out) == []
+        assert out.makespan <= sloppy.makespan + 1e-9

@@ -1,0 +1,218 @@
+"""Unit tests for the DAG workload generators."""
+
+import pytest
+
+from repro.dag import (
+    FAMILIES,
+    Dag,
+    chain_dag,
+    cholesky_dag,
+    diamond_dag,
+    erdos_renyi_dag,
+    fft_dag,
+    fork_join_dag,
+    independent_dag,
+    intree_dag,
+    layered_dag,
+    lu_dag,
+    outtree_dag,
+    random_family,
+    series_parallel_dag,
+    stencil_dag,
+)
+
+
+class TestLayered:
+    def test_node_count(self):
+        g = layered_dag(20, 4, 0.5, seed=0)
+        assert g.n_nodes == 20
+
+    def test_deterministic(self):
+        assert layered_dag(15, 3, 0.5, seed=42) == layered_dag(
+            15, 3, 0.5, seed=42
+        )
+
+    def test_different_seeds_differ(self):
+        a = layered_dag(30, 5, 0.5, seed=1)
+        b = layered_dag(30, 5, 0.5, seed=2)
+        assert a != b
+
+    def test_every_nonsource_has_pred(self):
+        g = layered_dag(25, 5, 0.1, seed=3)
+        # At least one node per non-first layer must have a predecessor
+        # (guaranteed connectivity); count nodes with preds.
+        with_preds = sum(
+            1 for v in range(g.n_nodes) if g.in_degree(v) > 0
+        )
+        assert with_preds >= 4  # at least the guaranteed ones
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            layered_dag(3, 5)
+        with pytest.raises(ValueError):
+            layered_dag(10, 2, edge_prob=1.5)
+
+
+class TestErdosRenyi:
+    def test_acyclic_by_construction(self):
+        g = erdos_renyi_dag(30, 0.3, seed=0)  # would raise on a cycle
+        assert g.n_nodes == 30
+
+    def test_p_zero_empty(self):
+        assert erdos_renyi_dag(10, 0.0, seed=0).n_edges == 0
+
+    def test_p_one_complete(self):
+        g = erdos_renyi_dag(6, 1.0, seed=0)
+        assert g.n_edges == 15
+
+    def test_bad_prob(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_dag(5, -0.1)
+
+
+class TestForkJoin:
+    def test_structure(self):
+        g = fork_join_dag(2, 3)
+        # 1 source + per phase (3 body + 1 join) = 1 + 2*4 = 9
+        assert g.n_nodes == 9
+        assert len(g.sources()) == 1
+        assert len(g.sinks()) == 1
+
+    def test_depth(self):
+        g = fork_join_dag(3, 2)
+        # source, body, join, body, join, body, join -> depth 7
+        assert g.depth() == 7
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            fork_join_dag(0, 2)
+        with pytest.raises(ValueError):
+            fork_join_dag(2, 0)
+
+
+class TestSeriesParallel:
+    def test_deterministic(self):
+        assert series_parallel_dag(12, seed=5) == series_parallel_dag(
+            12, seed=5
+        )
+
+    def test_single_source_sink_parallel(self):
+        g = series_parallel_dag(10, seed=1, parallel_bias=1.0)
+        assert len(g.sources()) == 1
+        assert len(g.sinks()) == 1
+
+    def test_pure_series_is_chain(self):
+        g = series_parallel_dag(6, seed=1, parallel_bias=0.0)
+        assert g.depth() == g.n_nodes  # a chain
+
+    def test_bad_size(self):
+        with pytest.raises(ValueError):
+            series_parallel_dag(0)
+
+
+class TestTrees:
+    def test_intree_counts(self):
+        g = intree_dag(3, 2)  # 1 + 2 + 4 = 7
+        assert g.n_nodes == 7
+        assert len(g.sinks()) == 1  # the root
+        assert len(g.sources()) == 4  # the leaves
+
+    def test_intree_every_nonroot_out_degree_one(self):
+        g = intree_dag(4, 2)
+        out_deg = [g.out_degree(v) for v in range(g.n_nodes)]
+        assert out_deg.count(0) == 1  # only the root
+
+    def test_outtree_is_reverse(self):
+        assert outtree_dag(3, 2) == intree_dag(3, 2).reversed_dag()
+
+    def test_fanin_three(self):
+        g = intree_dag(3, 3)  # 1 + 3 + 9
+        assert g.n_nodes == 13
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            intree_dag(0)
+        with pytest.raises(ValueError):
+            intree_dag(3, 1)
+
+
+class TestSimpleShapes:
+    def test_chain(self):
+        g = chain_dag(5)
+        assert g.depth() == 5
+
+    def test_diamond(self):
+        g = diamond_dag(4)
+        assert g.n_nodes == 6
+        assert g.depth() == 3
+        assert g.out_degree(0) == 4
+
+    def test_diamond_bad(self):
+        with pytest.raises(ValueError):
+            diamond_dag(0)
+
+    def test_independent(self):
+        g = independent_dag(7)
+        assert g.n_edges == 0
+
+
+class TestNumericalKernels:
+    def test_cholesky_task_count(self):
+        # b=3: 3 potrf + 3 trsm + 3 syrk + 1 gemm = 10
+        assert cholesky_dag(3).n_nodes == 10
+
+    def test_cholesky_depth_grows(self):
+        assert cholesky_dag(4).depth() > cholesky_dag(2).depth()
+
+    def test_cholesky_single_source(self):
+        g = cholesky_dag(4)
+        assert len(g.sources()) == 1  # POTRF(0)
+
+    def test_lu_nodes(self):
+        g = lu_dag(3)
+        # 3 getrf + 2*(2+1) panels + gemms (4+1) = 3+6+5 = 14
+        assert g.n_nodes == 14
+
+    def test_lu_single_source(self):
+        assert len(lu_dag(4).sources()) == 1
+
+    def test_fft_structure(self):
+        g = fft_dag(8)  # 3 stages x 4 butterflies
+        assert g.n_nodes == 12
+        assert g.depth() == 3
+        assert len(g.sources()) == 4
+
+    def test_fft_bad_size(self):
+        with pytest.raises(ValueError):
+            fft_dag(6)
+        with pytest.raises(ValueError):
+            fft_dag(1)
+
+    def test_stencil_grid(self):
+        g = stencil_dag(3, 4)
+        assert g.n_nodes == 12
+        assert g.depth() == 6  # rows + cols - 1
+        assert g.sources() == (0,)
+        assert g.sinks() == (11,)
+
+    def test_stencil_bad(self):
+        with pytest.raises(ValueError):
+            stencil_dag(0, 3)
+
+
+class TestFamilyRegistry:
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_every_family_dispatches(self, family):
+        g = random_family(family, 20, seed=0)
+        assert isinstance(g, Dag)
+        assert g.n_nodes >= 1
+
+    def test_unknown_family(self):
+        with pytest.raises(ValueError):
+            random_family("nope", 10)
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_deterministic_dispatch(self, family):
+        assert random_family(family, 25, seed=3) == random_family(
+            family, 25, seed=3
+        )

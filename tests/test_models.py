@@ -1,0 +1,171 @@
+"""Unit tests for speedup-profile generators and repair utilities."""
+
+import math
+
+import pytest
+
+from repro.core import MalleableTask
+from repro.models import (
+    amdahl_profile,
+    communication_profile,
+    concavify_speedup,
+    enforce_assumptions,
+    enforce_monotone,
+    linear_speedup_profile,
+    logarithmic_profile,
+    paper_counterexample_profile,
+    power_law_profile,
+    rigid_profile,
+)
+
+
+class TestPowerLaw:
+    def test_values(self):
+        p = power_law_profile(8.0, 0.5, 4)
+        assert p[0] == pytest.approx(8.0)
+        assert p[3] == pytest.approx(4.0)
+
+    @pytest.mark.parametrize("d", [0.05, 0.3, 0.6, 0.9, 1.0])
+    @pytest.mark.parametrize("m", [1, 2, 5, 16, 64])
+    def test_always_valid(self, d, m):
+        MalleableTask(power_law_profile(10.0, d, m))
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            power_law_profile(0.0, 0.5, 4)
+        with pytest.raises(ValueError):
+            power_law_profile(1.0, 0.0, 4)
+        with pytest.raises(ValueError):
+            power_law_profile(1.0, 1.5, 4)
+        with pytest.raises(ValueError):
+            power_law_profile(1.0, 0.5, 0)
+
+
+class TestAmdahl:
+    def test_values(self):
+        p = amdahl_profile(10.0, 0.5, 2)
+        assert p[0] == pytest.approx(10.0)
+        assert p[1] == pytest.approx(7.5)
+
+    @pytest.mark.parametrize("f", [0.0, 0.01, 0.2, 0.5, 0.99, 1.0])
+    @pytest.mark.parametrize("m", [1, 3, 8, 32])
+    def test_always_valid(self, f, m):
+        MalleableTask(amdahl_profile(5.0, f, m))
+
+    def test_serial_limit(self):
+        """f = 1 means no speedup at all."""
+        p = amdahl_profile(4.0, 1.0, 5)
+        assert all(x == pytest.approx(4.0) for x in p)
+
+    def test_bad_fraction(self):
+        with pytest.raises(ValueError):
+            amdahl_profile(4.0, -0.1, 3)
+        with pytest.raises(ValueError):
+            amdahl_profile(4.0, 1.1, 3)
+
+
+class TestLogarithmic:
+    @pytest.mark.parametrize("m", [1, 2, 7, 20])
+    def test_always_valid(self, m):
+        MalleableTask(logarithmic_profile(6.0, m))
+
+    def test_base_guard(self):
+        with pytest.raises(ValueError):
+            logarithmic_profile(1.0, 4, base=1.5)
+
+    def test_speedup_value(self):
+        p = logarithmic_profile(10.0, 4, base=2.0)
+        assert 10.0 / p[3] == pytest.approx(3.0)  # 1 + log2(4)
+
+
+class TestCommunication:
+    def test_has_minimum_then_rises(self):
+        p = communication_profile(100.0, 1.0, 30)
+        lmin = min(range(30), key=lambda i: p[i])
+        assert 5 <= lmin + 1 <= 15  # sqrt(100) = 10
+        assert p[29] > p[lmin]  # violates Assumption 1 eventually
+
+    def test_repaired_valid(self):
+        p = enforce_assumptions(communication_profile(100.0, 1.0, 30))
+        MalleableTask(p)
+
+    def test_zero_comm_is_linear(self):
+        p = communication_profile(10.0, 0.0, 5)
+        assert p[4] == pytest.approx(2.0)
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            communication_profile(0.0, 1.0, 5)
+        with pytest.raises(ValueError):
+            communication_profile(1.0, -1.0, 5)
+
+
+class TestOtherProfiles:
+    def test_linear_speedup(self):
+        p = linear_speedup_profile(12.0, 4)
+        assert p[3] == pytest.approx(3.0)
+        MalleableTask(p)
+
+    def test_rigid(self):
+        p = rigid_profile(7.0, 5)
+        assert p == [7.0] * 5
+        MalleableTask(p)
+
+    def test_counterexample_delta_guard(self):
+        with pytest.raises(ValueError):
+            paper_counterexample_profile(4, delta=0.9)
+
+    def test_counterexample_default_delta(self):
+        p = paper_counterexample_profile(5)
+        t = MalleableTask(p, validate=False)
+        assert t.satisfies_assumption2prime()
+        assert not t.satisfies_assumption2()
+
+
+class TestEnforceMonotone:
+    def test_running_min(self):
+        assert enforce_monotone([5.0, 6.0, 4.0, 4.5]) == [
+            5.0,
+            5.0,
+            4.0,
+            4.0,
+        ]
+
+    def test_already_monotone_unchanged(self):
+        p = [5.0, 4.0, 3.0]
+        assert enforce_monotone(p) == p
+
+    def test_positive_guard(self):
+        with pytest.raises(ValueError):
+            enforce_monotone([1.0, -2.0])
+
+
+class TestConcavifySpeedup:
+    def test_output_satisfies_assumptions(self):
+        raw = [10.0, 9.0, 3.0, 2.9]  # s = 1, 1.11, 3.33, 3.45 (convex jump)
+        fixed = concavify_speedup(raw)
+        MalleableTask(fixed)  # validates both assumptions
+
+    def test_never_slower(self):
+        raw = [10.0, 9.0, 3.0, 2.9]
+        fixed = concavify_speedup(raw)
+        assert all(f <= r + 1e-9 for f, r in zip(fixed, raw))
+
+    def test_concave_input_unchanged(self):
+        p = power_law_profile(8.0, 0.5, 6)
+        fixed = concavify_speedup(p)
+        assert fixed == pytest.approx(p)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            concavify_speedup([])
+
+    def test_counterexample_repaired(self):
+        p = paper_counterexample_profile(8)
+        MalleableTask(enforce_assumptions(p))
+
+    def test_idempotent(self):
+        raw = communication_profile(50.0, 0.8, 20)
+        once = enforce_assumptions(raw)
+        twice = enforce_assumptions(once)
+        assert twice == pytest.approx(once)

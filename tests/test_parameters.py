@@ -1,0 +1,135 @@
+"""Tests for parameter selection and the NLP-(17) vertex bound."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    RHO_STAR_PAPER,
+    jz_parameters,
+    max_mu,
+    mu_hat,
+    ratio_bound,
+)
+
+
+class TestMaxMu:
+    def test_values(self):
+        assert max_mu(2) == 1
+        assert max_mu(3) == 2
+        assert max_mu(10) == 5
+        assert max_mu(11) == 6
+
+    def test_bad_m(self):
+        with pytest.raises(ValueError):
+            max_mu(0)
+
+
+class TestMuHat:
+    def test_paper_formula_eq20(self):
+        """Eq. (20) at ρ = 0.26 equals (113m - sqrt(6469m² - 6300m))/100."""
+        for m in (2, 5, 10, 33, 100):
+            expected = (
+                113 * m - math.sqrt(6469 * m * m - 6300 * m)
+            ) / 100.0
+            assert mu_hat(m) == pytest.approx(expected, rel=1e-12)
+
+    def test_lemma48_general_rho(self):
+        m, rho = 12, 0.4
+        expected = (
+            (2 + rho) * m
+            - math.sqrt((rho**2 + 2 * rho + 2) * m * m - 2 * (1 + rho) * m)
+        ) / 2.0
+        assert mu_hat(m, rho) == pytest.approx(expected, rel=1e-12)
+
+    def test_asymptotic_fraction(self):
+        """μ̂*/m -> (2+ρ-sqrt(ρ²+2ρ+2))/2 at ρ = 0.26 (≈ 0.32570;
+        the paper's 0.325907 corresponds to ρ* = 0.261917)."""
+        frac = mu_hat(10**7) / 10**7
+        expected = (2.26 - (0.26**2 + 2 * 0.26 + 2) ** 0.5) / 2
+        assert frac == pytest.approx(expected, abs=1e-6)
+
+
+class TestRatioBound:
+    def test_matches_brute_force_inner_max(self):
+        """The vertex evaluation equals a fine grid max over (x1, x2)."""
+        m, mu, rho = 10, 4, 0.26
+        analytic = ratio_bound(m, mu, rho)
+        # Brute force over the constraint polytope boundary.
+        best = 0.0
+        c1 = (1 + rho) / 2
+        c2 = min(mu / m, (1 + rho) / 2)
+        for k in range(2001):
+            x1 = k / 2000 * (1 / c1)
+            x2 = max(0.0, (1.0 - c1 * x1) / c2)
+            val = (
+                2 * m / (2 - rho) + (m - mu) * x1 + (m - 2 * mu + 1) * x2
+            ) / (m - mu + 1)
+            val2 = (2 * m / (2 - rho) + (m - mu) * x1) / (m - mu + 1)
+            best = max(best, val, val2)
+        assert analytic == pytest.approx(best, rel=1e-4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ratio_bound(10, 0, 0.26)
+        with pytest.raises(ValueError):
+            ratio_bound(10, 6, 0.26)  # > max_mu
+        with pytest.raises(ValueError):
+            ratio_bound(10, 3, 1.5)
+
+    def test_m2_is_two(self):
+        assert ratio_bound(2, 1, 0.0) == pytest.approx(2.0)
+
+    def test_m4_is_8_3(self):
+        assert ratio_bound(4, 2, 0.0) == pytest.approx(8.0 / 3.0)
+
+    def test_m3_lemma47(self):
+        assert ratio_bound(3, 2, 0.098) == pytest.approx(
+            2 * (2 + math.sqrt(3)) / 3, abs=2e-4
+        )
+
+
+class TestJZParameters:
+    def test_small_machine_special_cases(self):
+        assert jz_parameters(2).mu == 1 and jz_parameters(2).rho == 0.0
+        assert jz_parameters(3).mu == 2 and jz_parameters(3).rho == 0.098
+        assert jz_parameters(4).mu == 2 and jz_parameters(4).rho == 0.0
+
+    def test_m1_degenerate(self):
+        p = jz_parameters(1)
+        assert p.mu == 1 and p.ratio == 1.0
+
+    def test_rho_is_026_for_large_m(self):
+        for m in (5, 8, 16, 33, 100):
+            assert jz_parameters(m).rho == RHO_STAR_PAPER
+
+    def test_mu_is_floor_or_ceil_of_mu_hat(self):
+        for m in range(5, 60):
+            p = jz_parameters(m)
+            target = mu_hat(m)
+            assert p.mu in (
+                max(1, math.floor(target)),
+                min(max_mu(m), math.ceil(target)),
+            )
+
+    def test_ratio_below_corollary_constant(self):
+        """Corollary 4.1: r(m) <= 100/63 + 100(√6469+13)/5481 for all m."""
+        bound = 100 / 63 + 100 * (math.sqrt(6469) + 13) / 5481
+        for m in range(2, 200):
+            assert jz_parameters(m).ratio <= bound + 1e-9
+
+    def test_ratio_consistent_with_formula(self):
+        for m in (5, 12, 27):
+            p = jz_parameters(m)
+            assert p.ratio == pytest.approx(
+                ratio_bound(m, p.mu, p.rho), rel=1e-12
+            )
+
+    def test_bad_m(self):
+        with pytest.raises(ValueError):
+            jz_parameters(0)
+
+    def test_ratio_tends_to_asymptote(self):
+        """r(m) -> 3.291919... from below as m grows."""
+        r_large = jz_parameters(10**6).ratio
+        assert r_large == pytest.approx(3.291919, abs=1e-4)

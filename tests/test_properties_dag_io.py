@@ -1,0 +1,157 @@
+"""Additional property-based tests: DAG invariants and IO fuzzing."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Dag, Instance, MalleableTask
+from repro.dag import erdos_renyi_dag, random_family, FAMILIES
+from repro.io import (
+    instance_from_dict,
+    instance_to_dict,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+from repro.models import power_law_profile
+
+
+# ---------------------------------------------------------------------------
+# DAG invariants
+# ---------------------------------------------------------------------------
+@given(n=st.integers(1, 25), p=st.floats(0.0, 1.0), seed=st.integers(0, 10**6))
+@settings(max_examples=100)
+def test_topological_order_is_a_linear_extension(n, p, seed):
+    g = erdos_renyi_dag(n, p, seed=seed)
+    pos = {v: i for i, v in enumerate(g.topological_order())}
+    assert len(pos) == n
+    for (u, v) in g.edges:
+        assert pos[u] < pos[v]
+
+
+@given(n=st.integers(1, 15), p=st.floats(0.0, 0.6), seed=st.integers(0, 10**6))
+@settings(max_examples=60)
+def test_transitive_reduction_preserves_reachability(n, p, seed):
+    g = erdos_renyi_dag(n, p, seed=seed)
+    r = g.transitive_reduction()
+    assert r.n_edges <= g.n_edges
+    # Same transitive closure.
+    assert r.transitive_closure() == g.transitive_closure()
+
+
+@given(n=st.integers(1, 15), p=st.floats(0.0, 0.6), seed=st.integers(0, 10**6))
+@settings(max_examples=60)
+def test_reduction_is_minimal(n, p, seed):
+    """Removing any arc from the reduction changes reachability."""
+    g = erdos_renyi_dag(n, p, seed=seed)
+    r = g.transitive_reduction()
+    closure = g.transitive_closure()
+    for drop in r.edges[:5]:  # cap the inner loop for speed
+        smaller = Dag(n, [e for e in r.edges if e != drop])
+        assert smaller.transitive_closure() != closure
+
+
+@given(
+    n=st.integers(1, 20),
+    p=st.floats(0.0, 0.8),
+    seed=st.integers(0, 10**6),
+    data=st.data(),
+)
+@settings(max_examples=80)
+def test_ancestors_descendants_duality(n, p, seed, data):
+    g = erdos_renyi_dag(n, p, seed=seed)
+    v = data.draw(st.integers(0, n - 1))
+    for a in g.ancestors(v):
+        assert v in g.descendants(a)
+
+
+@given(
+    n=st.integers(2, 20),
+    p=st.floats(0.0, 0.8),
+    seed=st.integers(0, 10**6),
+)
+@settings(max_examples=60)
+def test_longest_path_is_sound(n, p, seed):
+    g = erdos_renyi_dag(n, p, seed=seed)
+    rng = random.Random(seed)
+    w = [rng.uniform(0.1, 5.0) for _ in range(n)]
+    path = g.longest_path(w)
+    # Path edges exist and the weight sum equals the reported length.
+    for a, b in zip(path, path[1:]):
+        assert g.has_edge(a, b)
+    assert abs(
+        sum(w[v] for v in path) - g.longest_path_length(w)
+    ) < 1e-9
+
+
+# ---------------------------------------------------------------------------
+# IO fuzzing
+# ---------------------------------------------------------------------------
+@given(
+    family=st.sampled_from(FAMILIES),
+    size=st.integers(2, 25),
+    m=st.integers(1, 8),
+    seed=st.integers(0, 10**5),
+)
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_instance_round_trip_any_family(family, size, m, seed):
+    dag = random_family(family, size, seed=seed)
+    rng = random.Random(seed)
+    inst = Instance(
+        [
+            MalleableTask(
+                power_law_profile(
+                    rng.uniform(0.5, 20.0), rng.uniform(0.1, 1.0), m
+                ),
+                name=f"J{j}",
+            )
+            for j in range(dag.n_nodes)
+        ],
+        dag,
+        m,
+        name=f"{family}-{seed}",
+    )
+    back = instance_from_dict(instance_to_dict(inst))
+    assert back.m == inst.m
+    assert back.dag == inst.dag
+    assert back.name == inst.name
+    for a, b in zip(back.tasks, inst.tasks):
+        assert a.times == b.times and a.name == b.name
+
+
+@given(
+    n=st.integers(1, 12),
+    m=st.integers(1, 6),
+    seed=st.integers(0, 10**5),
+)
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_schedule_round_trip_preserves_feasibility(n, m, seed):
+    from repro.core import list_schedule
+    from repro.schedule import validate_schedule
+
+    rng = random.Random(seed)
+    dag = erdos_renyi_dag(n, 0.3, seed=seed)
+    inst = Instance(
+        [
+            MalleableTask(
+                power_law_profile(
+                    rng.uniform(0.5, 10.0), rng.uniform(0.2, 1.0), m
+                )
+            )
+            for _ in range(n)
+        ],
+        dag,
+        m,
+    )
+    sched = list_schedule(inst, [rng.randint(1, m) for _ in range(n)])
+    back = schedule_from_dict(schedule_to_dict(sched))
+    assert validate_schedule(inst, back) == []
+    assert abs(back.makespan - sched.makespan) < 1e-12

@@ -1,0 +1,154 @@
+"""Regression tests for bugs found during development.
+
+Each test reproduces a once-real failure so it can never return silently.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Instance, MalleableTask
+from repro.core import list_schedule
+from repro.dag import erdos_renyi_dag, layered_dag
+from repro.models import power_law_profile
+from repro.schedule import (
+    ResourceTimeline,
+    simulate,
+    validate_schedule,
+)
+
+
+class TestTimelineSliverBug:
+    """An early ResourceTimeline snapped breakpoints within 1e-9, which
+    silently *shrank* a reservation whose end differed from an existing
+    breakpoint by 8e-15 — LIST then overlapped two tasks by that sliver
+    and the validator caught an 8-processor instant on a 6-processor
+    machine.  The timeline is now exact; this replays the original trace.
+    """
+
+    RESERVATIONS = [
+        (0.0, 5.172818579717866, 3),
+        (0.0, 5.172818579717866, 3),
+        (5.172818579717866, 15.172818579717866, 1),
+        (5.172818579717866, 15.172818579717866, 1),
+        (5.172818579717866, 10.345637159435732, 3),
+        (10.345637159435732, 15.518455739153598, 3),
+        (15.172818579717866, 25.172818579717866, 1),
+        (15.518455739153598, 20.691274318871464, 3),
+        (20.691274318871464, 27.288813872735936, 2),
+        (20.691274318871464, 25.864092898589330, 3),
+        (25.864092898589330, 35.864092898589334, 1),
+        (25.864092898589330, 31.036911478307196, 3),
+        (31.036911478307196, 37.634451032171668, 2),
+        (31.036911478307196, 41.036911478307196, 1),
+        (35.864092898589334, 41.036911478307204, 3),
+    ]
+
+    def test_exact_timeline_rejects_the_overlap(self):
+        tl = ResourceTimeline(6)
+        for s, e, a in self.RESERVATIONS:
+            tl.reserve(s, e, a)
+        # Task 4 (last reservation) runs until ...204; starting 3+2
+        # processors at ...196 must not be possible.
+        t10 = tl.earliest_start(41.036911478307196, 5.172818579717866, 3)
+        tl.reserve(t10, t10 + 5.172818579717866, 3)
+        t14 = tl.earliest_start(41.036911478307196, 6.597539553864471, 2)
+        # Task 4's tail occupies 3 processors until ...204 and task 10
+        # occupies 3 more, so the 2-processor request must wait for the
+        # exact end of task 4 — the buggy version started it at ...196.
+        assert t14 >= 41.036911478307204
+        tl.reserve(t14, t14 + 6.597539553864471, 2)  # must not raise
+        # And the profile never exceeds capacity.
+        for (_t, usage) in tl.profile():
+            assert usage <= 6
+
+    def test_original_failing_instance_is_feasible_now(self):
+        m, seed = 6, 4
+        dag = layered_dag(18, 5, 0.4, seed=seed)
+        inst = Instance.from_profile_fn(
+            dag, m, lambda j: power_law_profile(10.0, 0.6, m)
+        )
+        rng = random.Random(seed)
+        alloc = [rng.randint(1, m) for _ in range(18)]
+        sched = list_schedule(inst, alloc, mu=3)
+        assert validate_schedule(inst, sched) == []
+
+
+class TestValidatorSimulatorAgreement:
+    """The event-sweep validator and the event-driven simulator are
+    independent implementations of feasibility; they must agree."""
+
+    @given(
+        n=st.integers(2, 12),
+        m=st.integers(2, 5),
+        seed=st.integers(0, 10**6),
+    )
+    @settings(
+        max_examples=50,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_agree_on_list_schedules(self, n, m, seed):
+        rng = random.Random(seed)
+        dag = erdos_renyi_dag(n, 0.3, seed=seed)
+        inst = Instance(
+            [
+                MalleableTask(
+                    power_law_profile(
+                        rng.uniform(1, 10), rng.uniform(0.2, 1.0), m
+                    )
+                )
+                for _ in range(n)
+            ],
+            dag,
+            m,
+        )
+        alloc = [rng.randint(1, m) for _ in range(n)]
+        sched = list_schedule(inst, alloc)
+        assert validate_schedule(inst, sched) == []
+        simulate(inst, sched)  # must not raise either
+
+    def test_both_reject_capacity_violation(self):
+        from repro import Dag
+        from repro.schedule import Schedule, ScheduledTask
+
+        inst = Instance(
+            [MalleableTask([4.0, 2.0]), MalleableTask([4.0, 2.0])],
+            Dag(2),
+            2,
+        )
+        bad = Schedule(
+            2,
+            [
+                ScheduledTask(0, 0.0, 2, 2.0),
+                ScheduledTask(1, 1.0, 2, 2.0),
+            ],
+        )
+        assert validate_schedule(inst, bad)  # non-empty violations
+        with pytest.raises(RuntimeError):
+            simulate(inst, bad)
+
+
+class TestNearDegenerateProfiles:
+    """Profiles with sub-1e-7 relative steps are treated as plateaus so
+    LP segments never have cancellation-dominated slopes."""
+
+    def test_tiny_step_collapsed(self):
+        t = MalleableTask(
+            [1.0, 0.5, 0.4, 0.3764705882352941, 0.3764705660899667],
+            validate=False,
+        )
+        ls = [l for (l, _x) in t.breakpoints]
+        assert 5 not in ls  # the 5th entry differs by ~6e-8: plateau
+
+    def test_work_of_time_still_covers_raw_min(self):
+        t = MalleableTask(
+            [1.0, 0.5, 0.4, 0.3764705882352941, 0.3764705660899667],
+            validate=False,
+        )
+        # Evaluating at the raw p(m) (slightly below the canonical last
+        # breakpoint) must clamp, not raise.
+        w = t.work_of_time(t.min_time)
+        assert w > 0

@@ -1,0 +1,135 @@
+"""Tests for critical-point rounding and Lemma 4.2 (:mod:`repro.core.rounding`)."""
+
+import pytest
+
+from repro import Instance, MalleableTask
+from repro.core import (
+    round_fractional_times,
+    rounding_stretch_report,
+    solve_allotment_lp,
+    time_stretch_bound,
+    work_stretch_bound,
+)
+from repro.dag import diamond_dag, independent_dag
+from repro.models import power_law_profile
+
+
+def one_task_instance(m=8, d=0.5):
+    return Instance(
+        [MalleableTask(power_law_profile(10.0, d, m))],
+        independent_dag(1),
+        m,
+    )
+
+
+class TestBounds:
+    def test_time_stretch_formula(self):
+        assert time_stretch_bound(0.0) == pytest.approx(2.0)
+        assert time_stretch_bound(1.0) == pytest.approx(1.0)
+        assert time_stretch_bound(0.26) == pytest.approx(2 / 1.26)
+
+    def test_work_stretch_formula(self):
+        assert work_stretch_bound(0.0) == pytest.approx(1.0)
+        assert work_stretch_bound(1.0) == pytest.approx(2.0)
+
+    def test_rho_range(self):
+        with pytest.raises(ValueError):
+            time_stretch_bound(-0.1)
+        with pytest.raises(ValueError):
+            work_stretch_bound(1.1)
+
+
+class TestRoundingRule:
+    def test_breakpoint_kept_exactly(self):
+        inst = one_task_instance()
+        t = inst.task(0)
+        for l in (1, 3, 8):
+            out = round_fractional_times(inst, [t.time(l)], rho=0.26)
+            assert out == [l]
+
+    def test_rho_zero_always_rounds_up_in_time(self):
+        """ρ=0: the critical point is p(l+1), so any interior x rounds to
+        the slower breakpoint (fewer processors)."""
+        inst = one_task_instance()
+        t = inst.task(0)
+        x = 0.5 * (t.time(2) + t.time(3))
+        assert round_fractional_times(inst, [x], rho=0.0) == [2]
+
+    def test_rho_one_always_rounds_down_in_time(self):
+        """ρ=1: the critical point is p(l), so any interior x rounds to
+        the faster breakpoint (more processors)."""
+        inst = one_task_instance()
+        t = inst.task(0)
+        x = 0.99 * t.time(2) + 0.01 * t.time(3)
+        assert round_fractional_times(inst, [x], rho=1.0) == [3]
+
+    def test_critical_point_threshold(self):
+        inst = one_task_instance()
+        t = inst.task(0)
+        rho = 0.4
+        crit = rho * t.time(4) + (1 - rho) * t.time(5)
+        eps = 1e-6 * t.time(4)
+        assert round_fractional_times(inst, [crit + eps], rho=rho) == [4]
+        assert round_fractional_times(inst, [crit - eps], rho=rho) == [5]
+
+    def test_length_mismatch(self):
+        inst = one_task_instance()
+        with pytest.raises(ValueError):
+            round_fractional_times(inst, [1.0, 2.0], rho=0.5)
+
+    def test_bad_rho(self):
+        inst = one_task_instance()
+        with pytest.raises(ValueError):
+            round_fractional_times(inst, [10.0], rho=2.0)
+
+
+class TestLemma42:
+    """Rounding stretches processing time by <= 2/(1+ρ), work by <= 2/(2-ρ)."""
+
+    @pytest.mark.parametrize("rho", [0.0, 0.13, 0.26, 0.5, 0.75, 1.0])
+    @pytest.mark.parametrize("d", [0.3, 0.5, 0.9])
+    def test_dense_x_sweep(self, rho, d):
+        inst = one_task_instance(m=10, d=d)
+        t = inst.task(0)
+        for k in range(101):
+            x = t.min_time + k * (t.max_time - t.min_time) / 100
+            rep = rounding_stretch_report(inst, [x], rho)
+            assert rep.within_bounds, (x, rep)
+
+    @pytest.mark.parametrize("rho", [0.0, 0.26, 1.0])
+    def test_on_lp_solutions(self, rho):
+        m = 8
+        inst = Instance.from_profile_fn(
+            diamond_dag(6), m, lambda j: power_law_profile(8.0 + j, 0.6, m)
+        )
+        res = solve_allotment_lp(inst)
+        rep = rounding_stretch_report(inst, res.x, rho)
+        assert rep.within_bounds
+        assert rep.max_time_stretch <= time_stretch_bound(rho) + 1e-9
+        assert rep.max_work_stretch <= work_stretch_bound(rho) + 1e-9
+
+    def test_report_fields(self):
+        inst = one_task_instance()
+        t = inst.task(0)
+        x = 0.5 * (t.time(1) + t.time(2))
+        rep = rounding_stretch_report(inst, [x], rho=0.26)
+        assert len(rep.allotment) == 1
+        assert len(rep.time_stretch) == 1
+        assert rep.max_time_stretch == rep.time_stretch[0]
+
+    def test_stretch_tight_at_two_processors(self):
+        """The worst case k=1 of Lemma 4.2: rounding just below/above the
+        critical point between l=1 and l=2 approaches the bound."""
+        m = 2
+        rho = 0.26
+        # p(2) = p(1)/2 is the extreme allowed by Assumption 2.
+        inst = Instance(
+            [MalleableTask([10.0, 5.0])], independent_dag(1), m
+        )
+        t = inst.task(0)
+        crit = rho * t.time(1) + (1 - rho) * t.time(2)
+        rep = rounding_stretch_report(inst, [crit], rho)
+        # Rounded up to p(1): time stretch = p(1)/crit = 2/(1+rho).
+        assert rep.max_time_stretch == pytest.approx(
+            time_stretch_bound(rho), rel=1e-9
+        )

@@ -1,0 +1,247 @@
+"""Tests for the schedule record, validator, metrics, simulator and Gantt."""
+
+import pytest
+
+from repro import Dag, Instance, MalleableTask
+from repro.dag import chain_dag, diamond_dag
+from repro.models import power_law_profile
+from repro.schedule import (
+    InfeasibleScheduleError,
+    Schedule,
+    ScheduledTask,
+    assert_feasible,
+    average_utilization,
+    busy_profile,
+    render_gantt,
+    simulate,
+    slot_classes,
+    validate_schedule,
+)
+
+
+def entry(task, start, procs, dur):
+    return ScheduledTask(task=task, start=start, processors=procs, duration=dur)
+
+
+def two_task_instance(m=2):
+    return Instance(
+        [
+            MalleableTask([4.0, 2.0]),
+            MalleableTask([6.0, 3.0]),
+        ],
+        Dag(2, [(0, 1)]),
+        m,
+    )
+
+
+class TestScheduleRecord:
+    def test_basic(self):
+        s = Schedule(2, [entry(0, 0.0, 1, 4.0), entry(1, 4.0, 2, 3.0)])
+        assert s.makespan == pytest.approx(7.0)
+        assert s.total_work == pytest.approx(4.0 + 6.0)
+        assert s.n_tasks == 2
+        assert s[1].start == 4.0
+        assert 0 in s and 5 not in s
+
+    def test_entries_sorted_by_start(self):
+        s = Schedule(2, [entry(1, 5.0, 1, 1.0), entry(0, 0.0, 1, 1.0)])
+        assert [e.task for e in s.entries] == [0, 1]
+
+    def test_duplicate_task_rejected(self):
+        with pytest.raises(ValueError):
+            Schedule(2, [entry(0, 0.0, 1, 1.0), entry(0, 1.0, 1, 1.0)])
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            Schedule(2, [entry(0, -1.0, 1, 1.0)])
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Schedule(2, [entry(0, 0.0, 1, 0.0)])
+
+    def test_processors_out_of_range(self):
+        with pytest.raises(ValueError):
+            Schedule(2, [entry(0, 0.0, 3, 1.0)])
+
+    def test_allotment_vector(self):
+        s = Schedule(4, [entry(0, 0.0, 2, 1.0), entry(1, 0.0, 1, 1.0)])
+        assert s.allotment() == [2, 1]
+
+    def test_allotment_missing_task(self):
+        s = Schedule(4, [entry(1, 0.0, 1, 1.0)])
+        with pytest.raises(ValueError):
+            s.allotment(2)
+
+    def test_completion_times(self):
+        s = Schedule(2, [entry(0, 1.0, 1, 2.0)])
+        assert s.completion_times() == {0: 3.0}
+
+    def test_empty(self):
+        s = Schedule(2, [])
+        assert s.makespan == 0.0
+        assert s.total_work == 0.0
+
+
+class TestValidator:
+    def test_feasible(self):
+        inst = two_task_instance()
+        s = Schedule(2, [entry(0, 0.0, 2, 2.0), entry(1, 2.0, 1, 6.0)])
+        assert validate_schedule(inst, s) == []
+        assert_feasible(inst, s)
+
+    def test_precedence_violation(self):
+        inst = two_task_instance()
+        s = Schedule(2, [entry(0, 0.0, 2, 2.0), entry(1, 1.0, 1, 6.0)])
+        bad = validate_schedule(inst, s)
+        assert any("precedence" in b for b in bad)
+        with pytest.raises(InfeasibleScheduleError):
+            assert_feasible(inst, s)
+
+    def test_capacity_violation(self):
+        inst = Instance(
+            [MalleableTask([4.0, 2.0]), MalleableTask([6.0, 3.0])],
+            Dag(2),
+            2,
+        )
+        s = Schedule(2, [entry(0, 0.0, 2, 2.0), entry(1, 1.0, 2, 3.0)])
+        bad = validate_schedule(inst, s)
+        assert any("capacity" in b for b in bad)
+
+    def test_duration_mismatch(self):
+        inst = two_task_instance()
+        s = Schedule(2, [entry(0, 0.0, 2, 3.5), entry(1, 3.5, 1, 6.0)])
+        bad = validate_schedule(inst, s)
+        assert any("duration" in b for b in bad)
+
+    def test_missing_task(self):
+        inst = two_task_instance()
+        s = Schedule(2, [entry(0, 0.0, 2, 2.0)])
+        bad = validate_schedule(inst, s)
+        assert any("missing" in b for b in bad)
+
+    def test_unknown_task(self):
+        inst = two_task_instance()
+        s = Schedule(
+            2,
+            [
+                entry(0, 0.0, 2, 2.0),
+                entry(1, 2.0, 1, 6.0),
+                entry(7, 0.0, 1, 1.0),
+            ],
+        )
+        bad = validate_schedule(inst, s)
+        assert any("unknown" in b for b in bad)
+
+    def test_machine_size_mismatch(self):
+        inst = two_task_instance()
+        s = Schedule(3, [])
+        bad = validate_schedule(inst, s)
+        assert any("machine size" in b for b in bad)
+
+    def test_back_to_back_tasks_ok(self):
+        """A successor may start exactly when its predecessor ends."""
+        inst = two_task_instance()
+        s = Schedule(2, [entry(0, 0.0, 1, 4.0), entry(1, 4.0, 2, 3.0)])
+        assert validate_schedule(inst, s) == []
+
+
+class TestMetrics:
+    def make_schedule(self):
+        # m=4: t0 uses 1 proc [0,4); t1 uses 3 procs [0,2); t2 uses 4 [4,6)
+        return Schedule(
+            4,
+            [
+                entry(0, 0.0, 1, 4.0),
+                entry(1, 0.0, 3, 2.0),
+                entry(2, 4.0, 4, 2.0),
+            ],
+        )
+
+    def test_busy_profile(self):
+        prof = busy_profile(self.make_schedule())
+        assert prof[0] == (0.0, 4)
+        assert (2.0, 1) in prof
+        assert (4.0, 4) in prof
+
+    def test_slot_classes_partition_makespan(self):
+        s = self.make_schedule()
+        for mu in (1, 2):
+            sc = slot_classes(s, mu)
+            assert sc.total == pytest.approx(s.makespan)
+
+    def test_slot_classes_values(self):
+        s = self.make_schedule()
+        sc = slot_classes(s, 2)  # m=4: T1 busy<=1, T2 busy in [2,2], T3 >=3
+        assert sc.t1 == pytest.approx(2.0)  # [2,4) has 1 busy
+        assert sc.t2 == pytest.approx(0.0)
+        assert sc.t3 == pytest.approx(4.0)  # [0,2) 4 busy, [4,6) 4 busy
+
+    def test_mu_validation(self):
+        with pytest.raises(ValueError):
+            slot_classes(self.make_schedule(), 3)  # > (m+1)//2
+
+    def test_utilization(self):
+        s = Schedule(2, [entry(0, 0.0, 2, 2.0)])
+        assert average_utilization(s) == pytest.approx(1.0)
+        assert average_utilization(Schedule(2, [])) == 0.0
+
+
+class TestSimulator:
+    def test_trace_of_feasible_schedule(self):
+        inst = two_task_instance()
+        s = Schedule(2, [entry(0, 0.0, 2, 2.0), entry(1, 2.0, 1, 6.0)])
+        trace = simulate(inst, s)
+        assert trace.makespan == pytest.approx(8.0)
+        assert trace.peak_busy == 2
+        kinds = [e.kind for e in trace.events]
+        assert kinds == ["start", "finish", "start", "finish"]
+
+    def test_precedence_violation_raises(self):
+        inst = two_task_instance()
+        s = Schedule(2, [entry(0, 0.0, 2, 2.0), entry(1, 0.5, 1, 6.0)])
+        with pytest.raises(RuntimeError, match="predecessor"):
+            simulate(inst, s)
+
+    def test_capacity_violation_raises(self):
+        inst = Instance(
+            [MalleableTask([4.0, 2.0]), MalleableTask([6.0, 3.0])],
+            Dag(2),
+            2,
+        )
+        s = Schedule(2, [entry(0, 0.0, 2, 2.0), entry(1, 1.0, 2, 3.0)])
+        with pytest.raises(RuntimeError, match="processors"):
+            simulate(inst, s)
+
+    def test_duration_mismatch_raises(self):
+        inst = two_task_instance()
+        s = Schedule(2, [entry(0, 0.0, 2, 99.0), entry(1, 99.0, 1, 6.0)])
+        with pytest.raises(RuntimeError, match="duration"):
+            simulate(inst, s)
+
+    def test_starts_helper(self):
+        inst = two_task_instance()
+        s = Schedule(2, [entry(0, 0.0, 2, 2.0), entry(1, 2.0, 1, 6.0)])
+        st = simulate(inst, s).starts()
+        assert [e.task for e in st] == [0, 1]
+
+
+class TestGantt:
+    def test_renders_all_rows(self):
+        s = Schedule(3, [entry(0, 0.0, 2, 2.0), entry(1, 2.0, 1, 1.0)])
+        text = render_gantt(s, width=40)
+        lines = text.splitlines()
+        assert len(lines) == 4  # header + 3 processor rows
+        assert "p0" in lines[1]
+
+    def test_empty_schedule(self):
+        assert "empty" in render_gantt(Schedule(2, []))
+
+    def test_labels(self):
+        s = Schedule(2, [entry(0, 0.0, 1, 1.0)])
+        text = render_gantt(s, labels={0: "X"})
+        assert "X" in text
+
+    def test_width_guard(self):
+        s = Schedule(2, [entry(0, 0.0, 1, 1.0)])
+        with pytest.raises(ValueError):
+            render_gantt(s, width=5)

@@ -1,0 +1,272 @@
+"""Unit tests for the malleable-task model (paper Sections 1–2)."""
+
+import math
+
+import pytest
+
+from repro.core import AssumptionError, MalleableTask
+from repro.models import (
+    amdahl_profile,
+    paper_counterexample_profile,
+    power_law_profile,
+    rigid_profile,
+)
+
+
+def power_task(p1=10.0, d=0.5, m=8, **kw):
+    return MalleableTask(power_law_profile(p1, d, m), **kw)
+
+
+class TestConstruction:
+    def test_basic(self):
+        t = MalleableTask([4.0, 3.0, 2.5])
+        assert t.max_processors == 3
+        assert t.time(1) == 4.0
+        assert t.time(3) == 2.5
+
+    def test_empty_profile_rejected(self):
+        with pytest.raises(ValueError):
+            MalleableTask([])
+
+    def test_nonpositive_time_rejected(self):
+        with pytest.raises(ValueError):
+            MalleableTask([1.0, 0.0])
+        with pytest.raises(ValueError):
+            MalleableTask([-1.0])
+
+    def test_nonfinite_time_rejected(self):
+        with pytest.raises(ValueError):
+            MalleableTask([1.0, float("inf")])
+        with pytest.raises(ValueError):
+            MalleableTask([float("nan")])
+
+    def test_time_out_of_range(self):
+        t = power_task(m=4)
+        with pytest.raises(ValueError):
+            t.time(0)
+        with pytest.raises(ValueError):
+            t.time(5)
+
+    def test_name(self):
+        assert power_task(name="foo").name == "foo"
+
+    def test_single_processor_profile(self):
+        t = MalleableTask([7.0])
+        assert t.max_processors == 1
+        assert t.work(1) == 7.0
+
+
+class TestAssumptionValidation:
+    def test_valid_power_law(self):
+        power_task()  # should not raise
+
+    def test_assumption1_violation_detected(self):
+        with pytest.raises(AssumptionError, match="Assumption 1"):
+            MalleableTask([2.0, 3.0])
+
+    def test_assumption2_violation_detected(self):
+        # Convex speedup: p = [4, 4, 1] -> s = [1, 1, 4], s(3)-s(2)=3 > 0.
+        with pytest.raises(AssumptionError, match="Assumption 2"):
+            MalleableTask([4.0, 4.0, 1.0])
+
+    def test_validate_false_skips(self):
+        t = MalleableTask([2.0, 3.0], validate=False)
+        assert t.assumption1_violations() == [1]
+
+    def test_paper_counterexample_fails_assumption2(self):
+        """The paper's Section 2 example: Assumption 2' holds, 2 fails."""
+        prof = paper_counterexample_profile(6)
+        t = MalleableTask(prof, validate=False)
+        assert t.satisfies_assumption1()
+        assert t.satisfies_assumption2prime()
+        assert not t.satisfies_assumption2()
+
+    def test_violation_lists_empty_for_valid(self):
+        t = power_task()
+        assert t.assumption1_violations() == []
+        assert t.assumption2_violations() == []
+
+    def test_linear_speedup_boundary(self):
+        """d = 1 makes the speedup linear — weakly concave, still valid."""
+        MalleableTask(power_law_profile(5.0, 1.0, 8))
+
+    def test_rigid_profile_valid(self):
+        MalleableTask(rigid_profile(3.0, 6))
+
+    def test_l0_concavity_point(self):
+        """s(2)-s(1) <= s(1)-s(0)=1, i.e. p(2) >= p(1)/2 is required."""
+        with pytest.raises(AssumptionError):
+            MalleableTask([10.0, 4.9])  # speedup 2.04 > 2
+        MalleableTask([10.0, 5.0])  # exactly 2x: fine
+
+
+class TestTheorem21WorkMonotone:
+    """Theorem 2.1: Assumption 2 implies work non-decreasing in l."""
+
+    @pytest.mark.parametrize("d", [0.1, 0.3, 0.5, 0.7, 0.9, 1.0])
+    def test_power_law(self, d):
+        t = MalleableTask(power_law_profile(10.0, d, 12))
+        works = [t.work(l) for l in range(1, 13)]
+        assert all(
+            a <= b + 1e-9 for a, b in zip(works, works[1:])
+        )
+
+    @pytest.mark.parametrize("f", [0.0, 0.1, 0.5, 0.9, 1.0])
+    def test_amdahl(self, f):
+        t = MalleableTask(amdahl_profile(10.0, f, 12))
+        works = [t.work(l) for l in range(1, 13)]
+        assert all(a <= b + 1e-9 for a, b in zip(works, works[1:]))
+
+    def test_assumption2prime_follows(self):
+        assert power_task().satisfies_assumption2prime()
+
+
+class TestTheorem22WorkConvex:
+    """Theorem 2.2: work is convex in the processing time."""
+
+    def test_segment_slopes_nonincreasing_in_l(self):
+        t = power_task(m=10)
+        slopes = [s.slope for s in t.segments()]
+        # Segments are ordered by increasing l = decreasing time; convexity
+        # in time means slope decreases as time increases, i.e. the
+        # sequence over increasing l is non-increasing in time order =>
+        # slopes over l are non-increasing (more negative).
+        assert all(a >= b - 1e-9 for a, b in zip(slopes, slopes[1:]))
+
+    def test_work_of_time_above_chords(self):
+        """Convexity: w(x) equals the max of all segment lines."""
+        t = power_task(m=8)
+        for l in range(1, 8):
+            x = 0.5 * (t.time(l) + t.time(l + 1))
+            w = t.work_of_time(x)
+            for seg in t.segments():
+                assert w >= seg.value(x) - 1e-9
+
+    def test_work_at_breakpoints_exact(self):
+        t = power_task(m=8)
+        for l in range(1, 9):
+            assert t.work_of_time(t.time(l)) == pytest.approx(
+                t.work(l), rel=1e-9
+            )
+
+
+class TestWorkOfTime:
+    def test_interpolates_linearly(self):
+        t = MalleableTask([4.0, 2.0])  # works 4 and 4; chord is flat
+        x = 3.0
+        assert t.work_of_time(x) == pytest.approx(4.0)
+
+    def test_interpolation_between(self):
+        t = MalleableTask([6.0, 4.0])  # W: 6 -> 8
+        # At midpoint x=5: w = 6 + (5-6)/(4-6)*(8-6) = 7
+        assert t.work_of_time(5.0) == pytest.approx(7.0)
+
+    def test_out_of_range_raises(self):
+        t = power_task(m=4)
+        with pytest.raises(ValueError):
+            t.work_of_time(t.max_time * 1.01)
+        with pytest.raises(ValueError):
+            t.work_of_time(t.min_time * 0.9)
+
+    def test_rigid_task_work(self):
+        t = MalleableTask(rigid_profile(5.0, 4))
+        assert t.work_of_time(5.0) == pytest.approx(5.0)  # canonical l=1
+        assert t.segments() == ()
+
+    def test_monotone_nonincreasing_in_x(self):
+        """w(x) is non-increasing in x (more time => fewer processors)."""
+        t = power_task(m=8)
+        xs = [t.min_time + k * (t.max_time - t.min_time) / 50 for k in range(51)]
+        ws = [t.work_of_time(x) for x in xs]
+        assert all(a >= b - 1e-9 for a, b in zip(ws, ws[1:]))
+
+
+class TestLemma41FractionalProcessors:
+    """Lemma 4.1: p(l+1) <= x <= p(l) implies l <= l*(x) <= l+1."""
+
+    @pytest.mark.parametrize("d", [0.25, 0.5, 0.75])
+    def test_bracketing(self, d):
+        t = MalleableTask(power_law_profile(9.0, d, 10))
+        for l in range(1, 10):
+            for frac in (0.0, 0.25, 0.5, 0.75, 1.0):
+                x = t.time(l + 1) + frac * (t.time(l) - t.time(l + 1))
+                lstar = t.fractional_processors(x)
+                assert l - 1e-9 <= lstar <= l + 1 + 1e-9
+
+    def test_exact_at_breakpoints(self):
+        t = power_task(m=6)
+        for l in range(1, 7):
+            assert t.fractional_processors(t.time(l)) == pytest.approx(
+                l, rel=1e-9
+            )
+
+
+class TestBracket:
+    def test_interior(self):
+        t = power_task(m=6)
+        x = 0.5 * (t.time(2) + t.time(3))
+        assert t.bracket(x) == (2, 3)
+
+    def test_breakpoint_hit(self):
+        t = power_task(m=6)
+        assert t.bracket(t.time(4)) == (4, 4)
+
+    def test_plateau_canonicalized(self):
+        # Under Assumption 2 a plateau can only sit at the tail (a flat
+        # speedup must stay flat); canonical breakpoints drop it.
+        t = MalleableTask([4.0, 2.0, 2.0])
+        assert t.breakpoints == ((1, 4.0), (2, 2.0))
+        assert t.bracket(3.0) == (1, 2)
+
+    def test_out_of_range(self):
+        t = power_task(m=4)
+        with pytest.raises(ValueError):
+            t.bracket(100.0)
+
+
+class TestSpeedup:
+    def test_s0_is_zero(self):
+        assert power_task().speedup(0) == 0.0
+
+    def test_s1_is_one(self):
+        assert power_task().speedup(1) == 1.0
+
+    def test_power_law_speedup(self):
+        t = power_task(d=0.5, m=9)
+        assert t.speedup(9) == pytest.approx(3.0)
+
+    def test_speedup_concave_discrete(self):
+        t = power_task(d=0.6, m=12)
+        s = [t.speedup(l) for l in range(0, 13)]
+        diffs = [b - a for a, b in zip(s, s[1:])]
+        assert all(a >= b - 1e-9 for a, b in zip(diffs, diffs[1:]))
+
+
+class TestProcessorsForTime:
+    def test_smallest_count(self):
+        t = MalleableTask([4.0, 2.0, 2.0])
+        assert t.processors_for_time(4.0) == 1
+        assert t.processors_for_time(2.0) == 2  # canonical, not 3
+        assert t.processors_for_time(3.0) == 2
+
+    def test_properties(self):
+        t = power_task(m=5)
+        assert t.min_time == t.time(5)
+        assert t.max_time == t.time(1)
+        assert t.sequential_work == t.time(1)
+
+
+class TestDunder:
+    def test_equality(self):
+        a = MalleableTask([3.0, 2.0], name="x")
+        b = MalleableTask([3.0, 2.0], name="x")
+        assert a == b and hash(a) == hash(b)
+
+    def test_inequality(self):
+        assert MalleableTask([3.0, 2.0]) != MalleableTask([3.0, 2.5])
+        assert MalleableTask([3.0], name="a") != MalleableTask(
+            [3.0], name="b"
+        )
+
+    def test_repr(self):
+        assert "m=2" in repr(MalleableTask([3.0, 2.0]))

@@ -1,0 +1,233 @@
+"""Tests for the theory module: formulas, tables, NLP solvers, asymptotics."""
+
+import math
+
+import pytest
+
+from repro.theory import (
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    asymptotic_mu_fraction,
+    asymptotic_polynomial_coefficients,
+    asymptotic_ratio,
+    asymptotic_rho,
+    branch_a,
+    branch_b,
+    branch_functions,
+    corollary41_constant,
+    equation21_coefficients,
+    format_table,
+    grid_minimize,
+    lemma47_bound,
+    lemma49_bound,
+    ltw_asymptotic_ratio,
+    ltw_parameters,
+    ltw_ratio_bound,
+    optimal_rho,
+    ratio_bound,
+    table2,
+    table3,
+    table4,
+    theorem41_bound,
+)
+
+
+class TestLemma47:
+    def test_special_values(self):
+        assert lemma47_bound(3) == pytest.approx(2 * (2 + math.sqrt(3)) / 3)
+        assert lemma47_bound(5) == pytest.approx(
+            2 * (7 + 2 * math.sqrt(10)) / 9
+        )
+        assert lemma47_bound(4) == pytest.approx(16 / 6)  # 4m/(m+2)
+
+    def test_odd_m_formula(self):
+        m = 9
+        assert lemma47_bound(m) == pytest.approx(
+            2 * m * (4 * m * m - m + 1) / ((m + 1) ** 2 * (2 * m - 1))
+        )
+
+    def test_tends_to_four(self):
+        """Both branches of Lemma 4.7 tend to 4 as m -> infinity —
+        worse than the ρ > 2μ/m - 1 regime's 3.2919."""
+        assert lemma47_bound(10**6) == pytest.approx(4.0, abs=1e-3)
+        assert lemma47_bound(10**6 + 1) == pytest.approx(4.0, abs=1e-3)
+
+
+class TestLemma49AndTheorem41:
+    def test_lemma49_asymptote(self):
+        assert lemma49_bound(10**8) == pytest.approx(
+            corollary41_constant(), abs=1e-5
+        )
+
+    def test_theorem41_small_m(self):
+        assert theorem41_bound(2) == 2.0
+        assert theorem41_bound(4) == pytest.approx(8 / 3)
+
+    def test_theorem41_below_corollary(self):
+        for m in range(2, 100):
+            assert theorem41_bound(m) <= corollary41_constant() + 1e-9
+
+    def test_corollary_value(self):
+        assert corollary41_constant() == pytest.approx(3.291919, abs=1e-6)
+
+    def test_m_guard(self):
+        for fn in (lemma47_bound, lemma49_bound, theorem41_bound):
+            with pytest.raises(ValueError):
+                fn(1)
+
+
+class TestTable2:
+    def test_matches_paper_exactly(self):
+        for row, (m, mu, rho, r) in zip(table2(), PAPER_TABLE2):
+            assert row.m == m
+            assert row.mu == mu, f"m={m}"
+            assert row.rho == pytest.approx(rho, abs=1e-9), f"m={m}"
+            assert row.ratio == pytest.approx(r, abs=5e-5), f"m={m}"
+
+    def test_row_count(self):
+        assert len(table2()) == 32
+
+    def test_all_below_corollary(self):
+        for row in table2():
+            assert row.ratio <= corollary41_constant() + 1e-9
+
+
+class TestTable3:
+    def test_ratios_match_paper_exactly(self):
+        # The paper's Table 3 *truncates* to four decimals (5.090909 is
+        # printed as 5.0908), so compare after truncation.
+        for row, (m, mu, r) in zip(table3(), PAPER_TABLE3):
+            assert row.m == m
+            truncated = math.floor(row.ratio * 10**4) / 10**4
+            assert truncated == pytest.approx(r, abs=1.01e-4), f"m={m}"
+
+    def test_mu_matches_paper_except_known_typo(self):
+        for row, (m, mu, r) in zip(table3(), PAPER_TABLE3):
+            if m == 26:
+                # Paper prints mu=10 but its own ratio 5.125 needs mu=11.
+                assert row.mu == 11
+                assert ltw_ratio_bound(26, 10) == pytest.approx(5.2)
+                assert ltw_ratio_bound(26, 11) == pytest.approx(5.125)
+            else:
+                assert row.mu == mu, f"m={m}"
+
+    def test_ltw_asymptote(self):
+        assert ltw_asymptotic_ratio() == pytest.approx(3 + math.sqrt(5))
+        assert ltw_parameters(10**5).ratio == pytest.approx(
+            3 + math.sqrt(5), abs=1e-2
+        )
+
+    def test_ltw_guards(self):
+        with pytest.raises(ValueError):
+            ltw_ratio_bound(1, 1)
+        with pytest.raises(ValueError):
+            ltw_ratio_bound(10, 6)
+        with pytest.raises(ValueError):
+            ltw_parameters(1)
+
+
+class TestTable4:
+    def test_ratios_match_paper(self):
+        for row, (m, mu, rho, r) in zip(table4(), PAPER_TABLE4):
+            assert row.m == m
+            assert row.ratio == pytest.approx(r, abs=5e-5), f"m={m}"
+
+    def test_grid_never_above_fixed_parameters(self):
+        """The grid optimum is at least as good as Table 2's fixed
+        (ρ̂*, μ̂*) choice for every m."""
+        for r4, r2 in zip(table4(), table2()):
+            assert r4.ratio <= r2.ratio + 1e-12
+
+    def test_grid_optimum_structure(self):
+        g = grid_minimize(10)
+        assert g.ratio == pytest.approx(2.9992, abs=5e-5)
+        assert g.mu == 4
+        assert g.rho == pytest.approx(0.310, abs=1e-3)
+
+    def test_grid_guards(self):
+        with pytest.raises(ValueError):
+            grid_minimize(1)
+        with pytest.raises(ValueError):
+            grid_minimize(10, rho_step=0.0)
+
+
+class TestBranchFunctions:
+    def test_max_of_branches_is_ratio_bound(self):
+        for m, mu, rho in [(10, 4, 0.26), (20, 7, 0.3), (8, 3, 0.0)]:
+            a, b = branch_functions(m, mu, rho)
+            assert max(a, b) == pytest.approx(
+                ratio_bound(m, mu, rho), rel=1e-12
+            )
+
+    def test_branch_a_increasing_in_mu(self):
+        """A grows with μ: capping costs path length."""
+        m, rho = 20, 0.26
+        vals = [branch_a(m, mu, rho) for mu in range(1, 11)]
+        assert all(x <= y + 1e-12 for x, y in zip(vals, vals[1:]))
+
+    def test_branch_b_crossing_behavior(self):
+        """Lemma 4.6 / Fig. 3-4: A rises and B falls in μ, so the optimum
+        sits where they cross (property Ω1)."""
+        m, rho = 30, 0.26
+        diffs = [
+            branch_b(m, mu, rho) - branch_a(m, mu, rho)
+            for mu in range(1, 16)
+        ]
+        # B - A goes from positive (small mu) to negative (large mu),
+        # crossing exactly once.
+        signs = [d > 0 for d in diffs]
+        assert signs[0] is True and signs[-1] is False
+        assert sum(
+            1 for x, y in zip(signs, signs[1:]) if x != y
+        ) == 1
+
+
+class TestAsymptotics:
+    def test_limit_polynomial(self):
+        """eq. (21) coefficients / m³ tend to the limit polynomial."""
+        m = 10**7
+        cs = equation21_coefficients(m)
+        limit = asymptotic_polynomial_coefficients()
+        for c, c_inf in zip(cs, limit):
+            assert c / m**3 == pytest.approx(c_inf, rel=1e-5)
+
+    def test_rho_star(self):
+        assert asymptotic_rho() == pytest.approx(0.261917, abs=1e-6)
+
+    def test_mu_fraction(self):
+        assert asymptotic_mu_fraction() == pytest.approx(
+            0.325907, abs=1e-5
+        )
+
+    def test_asymptotic_ratio(self):
+        assert asymptotic_ratio() == pytest.approx(3.291913, abs=1e-5)
+
+    def test_asymptotic_ratio_below_paper_constant(self):
+        """3.291913 (optimal ρ*) < 3.291919 (fixed ρ̂* = 0.26)."""
+        assert asymptotic_ratio() < corollary41_constant()
+
+    def test_optimal_rho_close_to_grid(self):
+        """The stationary ρ from eq. (21) agrees with a fine grid search
+        for moderate m."""
+        for m in (10, 20, 33):
+            rho_eq = optimal_rho(m)
+            g = grid_minimize(m, rho_step=1e-4)
+            # Compare achieved objective values, not the raw ρ (the grid
+            # optimizes over integer μ too).
+            a = branch_a(m, grid_mu := g.mu, g.rho)
+            assert 0.0 < rho_eq < 1.0
+
+    def test_eq21_guard(self):
+        with pytest.raises(ValueError):
+            equation21_coefficients(1)
+
+
+class TestFormatting:
+    def test_format_with_rho(self):
+        text = format_table(table2(5), with_rho=True)
+        assert "rho" in text and "2.4880" in text
+
+    def test_format_without_rho(self):
+        text = format_table(table3(5), with_rho=False)
+        assert "rho" not in text
