@@ -14,10 +14,8 @@ they are swept away from the paper's values, and checks:
 Run:  pytest benchmarks/bench_ablation_params.py --benchmark-only -s
 """
 
-import pytest
-
 from repro import jz_schedule
-from repro.core import jz_parameters, max_mu
+from repro.core import jz_parameters
 from repro.workloads import make_instance
 
 M = 8

@@ -11,8 +11,6 @@ the worst offenders (rounding loss on every critical-path task).
 Run:  pytest benchmarks/bench_adversarial.py --benchmark-only -s
 """
 
-import pytest
-
 from repro import jz_schedule
 from repro.workloads import make_instance
 

@@ -12,8 +12,6 @@ Expected shape (asserted):
 Run:  pytest benchmarks/bench_baselines.py --benchmark-only -s
 """
 
-import pytest
-
 from repro import jz_schedule
 from repro.baselines import (
     full_allotment_schedule,

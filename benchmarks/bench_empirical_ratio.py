@@ -10,8 +10,6 @@ typically 1.0–1.8 — and the bound is never violated.
 Run:  pytest benchmarks/bench_empirical_ratio.py --benchmark-only -s
 """
 
-import pytest
-
 from repro import jz_schedule
 from repro.workloads import make_instance
 

@@ -9,8 +9,6 @@ linear work-function evaluation that LP (9) is built on.
 Run:  pytest benchmarks/bench_fig1.py --benchmark-only -s
 """
 
-import pytest
-
 from repro import MalleableTask
 from repro.models import power_law_profile
 

@@ -8,8 +8,6 @@ verifies the covering property that drives Lemma 4.3.
 Run:  pytest benchmarks/bench_fig2.py --benchmark-only -s
 """
 
-import pytest
-
 from repro import jz_schedule, render_gantt
 from repro.core import extract_heavy_path
 from repro.schedule import slot_classes

@@ -10,8 +10,6 @@ average — so the guarantee costs essentially nothing empirically.
 Run:  pytest benchmarks/bench_list_priorities.py --benchmark-only -s
 """
 
-import pytest
-
 from repro.core import (
     PRIORITY_RULES,
     jz_parameters,

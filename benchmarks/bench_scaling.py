@@ -9,8 +9,6 @@ Run:  pytest benchmarks/bench_scaling.py --benchmark-only -s
 
 import time
 
-import pytest
-
 from repro import jz_schedule
 from repro.core import build_allotment_lp, solve_allotment_lp
 from repro.workloads import make_instance

@@ -16,7 +16,7 @@ weaknesses are complementary (work vs critical path).
 Run:  python examples/cholesky_factorization.py
 """
 
-from repro import Instance, MalleableTask, assert_feasible, jz_schedule, lower_bounds
+from repro import Instance, MalleableTask, assert_feasible, jz_schedule
 from repro.baselines import (
     full_allotment_schedule,
     ltw_schedule,

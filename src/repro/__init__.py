@@ -22,6 +22,21 @@ Theory (Tables 2/3/4 and the asymptotics of Section 4.3) lives in
 :mod:`repro.theory`; baselines (Lepère–Trystram–Woeginger and naive
 schedulers, plus an exact branch-and-bound for tiny instances) live in
 :mod:`repro.baselines`.
+
+Batch API (:mod:`repro.engine`)::
+
+    from repro import jz_schedule_many
+
+    result = jz_schedule_many(instances, workers=4)   # process-pool fan-out
+    result.records[0].makespan        # bit-identical to jz_schedule(...)
+    result.throughput                 # solved instances / second
+    result.errors()                   # per-instance failures, isolated
+
+``jz_schedule_many`` preserves input order, isolates failures (one bad
+instance yields an ``"error"`` record instead of poisoning the batch) and
+returns makespans and certificate bounds bit-identical to the sequential
+path for any worker count.  ``python -m repro batch`` exposes the same
+engine on the command line with JSON-lines output.
 """
 
 from .core import (
@@ -40,6 +55,7 @@ from .core import (
 )
 from .bounds import LowerBounds, lower_bounds
 from .dag import Dag
+from .engine import BatchRecord, BatchResult, BatchRunner, jz_schedule_many
 from .schedule import (
     Schedule,
     ScheduledTask,
@@ -53,6 +69,9 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AssumptionError",
+    "BatchRecord",
+    "BatchResult",
+    "BatchRunner",
     "Dag",
     "Instance",
     "JZCertificate",
@@ -66,6 +85,7 @@ __all__ = [
     "extract_heavy_path",
     "jz_parameters",
     "jz_schedule",
+    "jz_schedule_many",
     "list_schedule",
     "lower_bounds",
     "ratio_bound",

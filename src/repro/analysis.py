@@ -115,7 +115,6 @@ def parallelism_profile(
     # Integrate the step function over each bin.
     out = []
     bin_w = makespan / n_bins
-    seg = 0
     for b in range(n_bins):
         lo, hi = b * bin_w, (b + 1) * bin_w
         area = 0.0

@@ -10,6 +10,8 @@
 * ``params``     — print ρ(m), μ(m), r(m) for a machine size.
 * ``generate``   — emit a workload instance JSON to stdout or a file.
 * ``validate``   — check a schedule JSON against an instance JSON.
+* ``batch``      — solve many instance JSON files (or a generated sweep)
+  on a process pool via :mod:`repro.engine`, writing JSON-lines results.
 """
 
 from __future__ import annotations
@@ -68,6 +70,30 @@ def build_parser() -> argparse.ArgumentParser:
     v = sub.add_parser("validate", help="validate schedule vs instance")
     v.add_argument("instance")
     v.add_argument("schedule")
+
+    b = sub.add_parser(
+        "batch", help="solve many instances on a process pool"
+    )
+    b.add_argument(
+        "instances", nargs="*", help="instance JSON files to solve"
+    )
+    b.add_argument(
+        "-w", "--workers", type=int, default=None,
+        help="process count (default: cpu count; 0/1 = in-process)",
+    )
+    b.add_argument(
+        "-o", "--output", help="write JSON-lines records here"
+    )
+    b.add_argument(
+        "--generate", metavar="FAMILY",
+        help="generate a sweep of this DAG family instead of reading files",
+    )
+    b.add_argument("--count", type=int, default=8,
+                   help="number of generated instances (with --generate)")
+    b.add_argument("--size", type=int, default=24)
+    b.add_argument("-m", "--processors", type=int, default=8)
+    b.add_argument("--model", default="power")
+    b.add_argument("--seed", type=int, default=0)
     return p
 
 
@@ -186,6 +212,85 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0
 
 
+class _Unloadable:
+    """Placeholder for an instance file that failed to load; solving it
+    re-raises the load error so the batch records it as a failure."""
+
+    def __init__(self, path: str, exc: Exception):
+        self.name = path
+        self._exc = exc
+
+    @property
+    def n_tasks(self):
+        raise self._exc
+
+    @property
+    def m(self):
+        raise self._exc
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from .engine import jz_schedule_many, write_jsonl
+    from .io import load_instance
+
+    if args.generate and args.instances:
+        print(
+            "batch: --generate conflicts with instance files; "
+            "pass one or the other",
+            file=sys.stderr,
+        )
+        return 2
+    if args.generate:
+        from .workloads import make_instance
+
+        instances = [
+            make_instance(
+                args.generate, args.size, args.processors,
+                model=args.model, seed=args.seed + k,
+            )
+            for k in range(args.count)
+        ]
+    elif args.instances:
+        # Isolate unloadable files the same way the engine isolates
+        # failing instances: a placeholder that yields an error record.
+        instances = []
+        for p in args.instances:
+            try:
+                instances.append(load_instance(p))
+            except Exception as exc:
+                print(f"batch: cannot load {p}: {exc}", file=sys.stderr)
+                instances.append(_Unloadable(p, exc))
+    else:
+        print(
+            "batch: pass instance JSON files or --generate FAMILY",
+            file=sys.stderr,
+        )
+        return 2
+
+    result = jz_schedule_many(instances, workers=args.workers)
+    if args.output:
+        write_jsonl(result.records, args.output)
+        print(f"records written to {args.output}", file=sys.stderr)
+    else:
+        for rec in result.records:
+            print(json.dumps(rec.to_dict()))
+    s = result.summary()
+    print(
+        f"batch: {s['ok']}/{s['instances']} ok, {s['errors']} errors, "
+        f"workers={s['workers']}, {s['wall_time']:.2f}s "
+        f"({s['throughput']:.2f} inst/s)",
+        file=sys.stderr,
+    )
+    for rec in result.errors():
+        first = (rec.error or "").strip().splitlines()
+        print(
+            f"  instance #{rec.index} ({rec.name}): "
+            f"{first[-1] if first else 'unknown error'}",
+            file=sys.stderr,
+        )
+    return 0 if result.n_errors == 0 else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -196,6 +301,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "params": _cmd_params,
         "generate": _cmd_generate,
         "validate": _cmd_validate,
+        "batch": _cmd_batch,
     }[args.command]
     return handler(args)
 

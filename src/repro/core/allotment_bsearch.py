@@ -24,7 +24,7 @@ and a report with the search trace.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Optional, Tuple
 
 from ..lpsolve import LinearProgram, LpError
 from .instance import Instance

@@ -93,7 +93,6 @@ def extract_heavy_path(
     light = _light_slots(schedule, mu)
     total_light = sum(e - s for s, e in light)
 
-    makespan = schedule.makespan
     last = max(
         schedule.entries, key=lambda e: (e.end, -e.task)
     )  # finishes at makespan

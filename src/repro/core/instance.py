@@ -10,7 +10,7 @@ the minimum-work total ``W(1)``, the best-case critical path (every task on
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Optional, Sequence, Tuple
 
 from ..dag import Dag
 from .task import MalleableTask

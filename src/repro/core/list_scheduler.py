@@ -23,16 +23,37 @@ of Lemma 4.3 work.
 :func:`list_schedule` is also usable standalone with any allotment and
 ``μ = m`` — that is the classic Graham list scheduling [8] generalized to
 malleable allotments, and is what the naive baselines build on.
+
+Implementation note — incremental earliest-start cache
+------------------------------------------------------
+A literal transcription of the loop above recomputes the earliest start of
+*every* ready task on *every* iteration, which is ``O(n · |READY| · B)``
+timeline work (``B`` = number of profile breakpoints) and dominates the
+whole pipeline on wide DAGs.  :func:`list_schedule` instead caches each
+ready task's earliest feasible start and revalidates lazily: reservations
+only ever *add* usage, so a cached start stays exact unless its window
+overlaps the newly reserved rectangle, and on overlap the fresh earliest
+start can be recomputed starting from the cached value (feasible starts
+are monotone under added reservations).  Selection then scans the exact
+cached values with the same index order and tolerance as the literal loop,
+so the produced schedule is bit-identical to
+:func:`list_schedule_reference` — a property the test suite asserts.
 """
 
 from __future__ import annotations
 
+from bisect import insort
 from typing import List, Optional, Sequence
 
 from ..schedule import ResourceTimeline, Schedule, ScheduledTask
 from .instance import Instance
 
-__all__ = ["list_schedule", "capped_allotment"]
+__all__ = ["list_schedule", "list_schedule_reference", "capped_allotment"]
+
+#: Tolerance of the "smallest earliest start" selection scan.  A candidate
+#: replaces the incumbent only when it is better by more than this, so the
+#: lowest-index task wins among numerically tied starts.
+_SELECT_TOL = 1e-12
 
 
 def capped_allotment(allotment: Sequence[int], mu: int) -> List[int]:
@@ -40,6 +61,13 @@ def capped_allotment(allotment: Sequence[int], mu: int) -> List[int]:
     if mu < 1:
         raise ValueError(f"mu must be >= 1, got {mu}")
     return [min(int(l), mu) for l in allotment]
+
+
+def _checked_cap(instance: Instance, mu: Optional[int]) -> int:
+    cap = instance.m if mu is None else int(mu)
+    if not (1 <= cap <= instance.m):
+        raise ValueError(f"mu must be in [1, {instance.m}], got {mu}")
+    return cap
 
 
 def list_schedule(
@@ -61,32 +89,102 @@ def list_schedule(
     Returns
     -------
     Schedule
-        A feasible schedule (validated property in the test suite).
+        A feasible schedule (validated property in the test suite),
+        bit-identical to :func:`list_schedule_reference` but computed with
+        the incremental earliest-start cache described in the module
+        docstring.
     """
     instance.validate_allotment(allotment)
     m = instance.m
-    cap = m if mu is None else int(mu)
-    if not (1 <= cap <= m):
-        raise ValueError(f"mu must be in [1, {m}], got {mu}")
-    alloc = capped_allotment(allotment, cap)
+    alloc = capped_allotment(allotment, _checked_cap(instance, mu))
 
     dag = instance.dag
     n = instance.n_tasks
     timeline = ResourceTimeline(m)
     completion = [0.0] * n
-    scheduled = [False] * n
+    n_sched = 0
+    entries: List[ScheduledTask] = []
+    dur = [instance.task(j).time(alloc[j]) for j in range(n)]
+
+    # READY bookkeeping: indegree over *scheduled* predecessors, plus the
+    # cached earliest feasible start ``est[j]`` of every ready task.
+    remaining_preds = [dag.in_degree(j) for j in range(n)]
+    ready = sorted(j for j in range(n) if remaining_preds[j] == 0)
+    est = {
+        j: timeline.earliest_start(0.0, dur[j], alloc[j]) for j in ready
+    }
+
+    while n_sched < n:
+        if not ready:  # pragma: no cover - impossible on a DAG
+            raise RuntimeError("no ready task but unscheduled tasks remain")
+        # Schedule the ready task with the smallest earliest start; ready
+        # is kept sorted so numerically tied starts go to the lowest index.
+        best_i, best_t = -1, float("inf")
+        for i, j in enumerate(ready):
+            t = est[j]
+            if t < best_t - _SELECT_TOL:
+                best_i, best_t = i, t
+        j = ready.pop(best_i)
+        end = best_t + dur[j]
+        timeline.reserve(best_t, end, alloc[j])
+        completion[j] = end
+        entries.append(
+            ScheduledTask(
+                task=j, start=best_t, processors=alloc[j], duration=dur[j]
+            )
+        )
+        n_sched += 1
+        del est[j]
+        # Revalidate cached starts whose window overlaps the reservation
+        # just made; all other cached values are still exact.
+        for k in ready:
+            t = est[k]
+            if t < end and t + dur[k] > best_t:
+                est[k] = timeline.earliest_start(t, dur[k], alloc[k])
+        for s in dag.successors(j):
+            remaining_preds[s] -= 1
+            if remaining_preds[s] == 0:
+                ready_at = max(
+                    (completion[p] for p in dag.predecessors(s)),
+                    default=0.0,
+                )
+                est[s] = timeline.earliest_start(
+                    ready_at, dur[s], alloc[s]
+                )
+                insort(ready, s)
+
+    return Schedule(m, entries)
+
+
+def list_schedule_reference(
+    instance: Instance,
+    allotment: Sequence[int],
+    mu: Optional[int] = None,
+) -> Schedule:
+    """Literal transcription of LIST (Table 1) — the pre-optimization path.
+
+    Recomputes every ready task's earliest start on every iteration.  Kept
+    as the executable specification: the test suite asserts
+    :func:`list_schedule` matches it bit for bit, and
+    ``benchmarks/bench_engine.py`` measures the speedup against it.
+    """
+    instance.validate_allotment(allotment)
+    m = instance.m
+    alloc = capped_allotment(allotment, _checked_cap(instance, mu))
+
+    dag = instance.dag
+    n = instance.n_tasks
+    timeline = ResourceTimeline(m)
+    completion = [0.0] * n
     n_sched = 0
     entries: List[ScheduledTask] = []
 
-    # READY bookkeeping: indegree over *scheduled* predecessors.
     remaining_preds = [dag.in_degree(j) for j in range(n)]
     ready = {j for j in range(n) if remaining_preds[j] == 0}
 
     while n_sched < n:
         if not ready:  # pragma: no cover - impossible on a DAG
             raise RuntimeError("no ready task but unscheduled tasks remain")
-        # Earliest possible start for each ready task: after all scheduled
-        # predecessors complete and when enough processors are free.
         best_j, best_t = -1, float("inf")
         for j in sorted(ready):
             ready_at = max(
@@ -94,7 +192,7 @@ def list_schedule(
             )
             dur = instance.task(j).time(alloc[j])
             t = timeline.earliest_start(ready_at, dur, alloc[j])
-            if t < best_t - 1e-12:
+            if t < best_t - _SELECT_TOL:
                 best_j, best_t = j, t
         j = best_j
         dur = instance.task(j).time(alloc[j])
@@ -105,7 +203,6 @@ def list_schedule(
                 task=j, start=best_t, processors=alloc[j], duration=dur
             )
         )
-        scheduled[j] = True
         n_sched += 1
         ready.discard(j)
         for s in dag.successors(j):

@@ -23,7 +23,7 @@ carries the paper's worst-case guarantee.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from ..schedule import ResourceTimeline, Schedule, ScheduledTask
 from .instance import Instance

@@ -29,12 +29,21 @@ harness divides by.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import NamedTuple, Tuple
+
+import numpy as np
 
 from ..lpsolve import LinearProgram, LpSolution
 from .instance import Instance
 
-__all__ = ["AllotmentLp", "AllotmentLpResult", "build_allotment_lp", "solve_allotment_lp"]
+__all__ = [
+    "AllotmentLp",
+    "AllotmentLpResult",
+    "AllotmentArrays",
+    "assemble_allotment_arrays",
+    "build_allotment_lp",
+    "solve_allotment_lp",
+]
 
 
 @dataclass(frozen=True)
@@ -156,29 +165,198 @@ def build_allotment_lp(instance: Instance) -> AllotmentLp:
     )
 
 
-def solve_allotment_lp(
-    instance: Instance, backend: str = "auto"
-) -> AllotmentLpResult:
-    """Build and solve LP (9); returns the fractional optimum.
+class AllotmentArrays(NamedTuple):
+    """LP (9) assembled in bulk as NumPy arrays (``A_ub v <= b_ub`` form).
 
-    ``backend`` is forwarded to :meth:`LinearProgram.solve`.
+    The layout is exactly the one :func:`build_allotment_lp` produces via
+    the modeling layer: variables ``x_j = 3j``, ``C_j = 3j + 1``,
+    ``w_j = 3j + 2``, then ``L = 3n`` and ``C = 3n + 1``; rows grouped per
+    task (fit, span, work segments), then precedence arcs, then the two
+    coupling rows ``L <= C`` and ``W/m <= C``.  Keeping the layout
+    identical means the sparse matrix handed to the solver is the same in
+    both paths, so the fast path returns the same optimum.
     """
-    built = build_allotment_lp(instance)
-    sol: LpSolution = built.lp.solve(backend=backend)
-    x = tuple(sol[v] for v in built.x_vars)
-    completion = tuple(sol[v] for v in built.c_vars)
-    work_bar = tuple(sol[v] for v in built.w_vars)
+
+    n_variables: int
+    c: np.ndarray  #: objective coefficients
+    lo: np.ndarray  #: variable lower bounds
+    hi: np.ndarray  #: variable upper bounds
+    rows: np.ndarray  #: COO row indices of A_ub
+    cols: np.ndarray  #: COO column indices of A_ub
+    vals: np.ndarray  #: COO values of A_ub
+    b_ub: np.ndarray  #: right-hand sides
+
+
+def assemble_allotment_arrays(instance: Instance) -> AllotmentArrays:
+    """Assemble LP (9) for ``instance`` directly into NumPy arrays.
+
+    Equivalent to :func:`build_allotment_lp` followed by the modeling-layer
+    conversion, but built in bulk with array operations instead of one
+    Python ``add_constraint`` call (and dict) per row — the per-task loops
+    only gather the already-cached work segments.
+    """
+    n = instance.n_tasks
+    m = instance.m
+    tasks = instance.tasks
+    nv = 3 * n + 2
+    xs = np.arange(n) * 3
+    cs = xs + 1
+    ws = xs + 2
+    l_var = 3 * n
+    c_max = 3 * n + 1
+
+    seg_lists = [t.segments() for t in tasks]
+    nseg = np.array([len(s) for s in seg_lists], dtype=np.intp)
+    slopes = np.array(
+        [s.slope for segs in seg_lists for s in segs], dtype=float
+    )
+    intercepts = np.array(
+        [s.intercept for segs in seg_lists for s in segs], dtype=float
+    )
+
+    lo = np.zeros(nv)
+    hi = np.full(nv, np.inf)
+    lo[xs] = [t.min_time for t in tasks]
+    hi[xs] = [t.max_time for t in tasks]
+    # Rigid tasks (no segments) have constant work; bound w̄ directly.
+    lo[ws] = np.where(
+        nseg == 0,
+        [t.breakpoints[0][0] * t.breakpoints[0][1] for t in tasks],
+        0.0,
+    )
+    c = np.zeros(nv)
+    c[c_max] = 1.0
+
+    # Per-task row block: fit_j, span_j, then the work segments of J_j.
+    block = nseg + 2
+    off = np.zeros(n + 1, dtype=np.intp)
+    np.cumsum(block, out=off[1:])
+    fit_rows = off[:-1]
+    span_rows = off[:-1] + 1
+    t_idx = np.repeat(np.arange(n), nseg)
+    # Flat segment p of task j sits at row off[j] + 2 + (p - segcum[j]);
+    # off[j] - segcum[j] = 2j, so the row is simply p + 2·j + 2.
+    seg_rows = np.arange(len(t_idx)) + 2 * t_idx + 2
+
+    edges = np.asarray(instance.dag.edges, dtype=np.intp).reshape(-1, 2)
+    ne = len(edges)
+    prec_rows = off[-1] + np.arange(ne)
+    r_lc = off[-1] + ne  # L <= C
+    r_wm = r_lc + 1  # W/m <= C
+    n_rows = int(r_wm) + 1
+
+    rows = np.concatenate(
+        [
+            np.repeat(fit_rows, 2),  # x_j - C_j <= 0
+            np.repeat(span_rows, 2),  # C_j - L <= 0
+            np.repeat(seg_rows, 2),  # slope·x_j - w_j <= -intercept
+            np.repeat(prec_rows, 3),  # C_i + x_j - C_j <= 0
+            np.array([r_lc, r_lc], dtype=np.intp),
+            np.full(n + 1, r_wm, dtype=np.intp),
+        ]
+    )
+    cols = np.concatenate(
+        [
+            np.column_stack([xs, cs]).ravel(),
+            np.column_stack([cs, np.full(n, l_var)]).ravel(),
+            np.column_stack([xs[t_idx], ws[t_idx]]).ravel(),
+            np.column_stack(
+                [cs[edges[:, 0]], xs[edges[:, 1]], cs[edges[:, 1]]]
+            ).ravel(),
+            np.array([l_var, c_max], dtype=np.intp),
+            np.append(ws, c_max),
+        ]
+    )
+    vals = np.concatenate(
+        [
+            np.tile([1.0, -1.0], n),
+            np.tile([1.0, -1.0], n),
+            np.column_stack([slopes, np.full(len(t_idx), -1.0)]).ravel(),
+            np.tile([1.0, 1.0, -1.0], ne),
+            np.array([1.0, -1.0]),
+            np.append(np.ones(n), -float(m)),
+        ]
+    )
+    b_ub = np.zeros(n_rows)
+    b_ub[seg_rows] = -intercepts
+
+    return AllotmentArrays(
+        n_variables=nv,
+        c=c,
+        lo=lo,
+        hi=hi,
+        rows=rows,
+        cols=cols,
+        vals=vals,
+        b_ub=b_ub,
+    )
+
+
+def _result_from_values(
+    instance: Instance,
+    x: Tuple[float, ...],
+    completion: Tuple[float, ...],
+    work_bar: Tuple[float, ...],
+    critical_path: float,
+    objective: float,
+    backend: str,
+) -> AllotmentLpResult:
     work = tuple(
         instance.task(j).work_of_time(x[j]) for j in range(instance.n_tasks)
     )
-    total_work = sum(work)
     return AllotmentLpResult(
         x=x,
         completion=completion,
         work_bar=work_bar,
         work=work,
+        critical_path=critical_path,
+        total_work=sum(work),
+        objective=objective,
+        backend=backend,
+    )
+
+
+def solve_allotment_lp(
+    instance: Instance, backend: str = "auto"
+) -> AllotmentLpResult:
+    """Build and solve LP (9); returns the fractional optimum.
+
+    With ``backend`` ``"auto"`` or ``"scipy"`` (and SciPy importable) the
+    constraint matrix is assembled in bulk via
+    :func:`assemble_allotment_arrays` and handed straight to HiGHS; the
+    layout matches the modeling-layer path exactly, so the result is the
+    same.  Other backends — and environments without SciPy — go through
+    :func:`build_allotment_lp` and :meth:`LinearProgram.solve` as before.
+    """
+    if backend in ("auto", "scipy"):
+        try:
+            from ..lpsolve.scipy_backend import solve_ub_arrays
+        except ImportError:
+            if backend == "scipy":
+                from ..lpsolve import LpError
+
+                raise LpError("scipy backend requested but unavailable")
+        else:
+            arrays = assemble_allotment_arrays(instance)
+            sol = solve_ub_arrays(arrays)
+            n = instance.n_tasks
+            return _result_from_values(
+                instance,
+                x=tuple(sol.values[3 * j] for j in range(n)),
+                completion=tuple(sol.values[3 * j + 1] for j in range(n)),
+                work_bar=tuple(sol.values[3 * j + 2] for j in range(n)),
+                critical_path=sol.values[3 * n],
+                objective=sol.objective,
+                backend=sol.backend,
+            )
+    built = build_allotment_lp(instance)
+    sol: LpSolution = built.lp.solve(backend=backend)
+    return _result_from_values(
+        instance,
+        x=tuple(sol[v] for v in built.x_vars),
+        completion=tuple(sol[v] for v in built.c_vars),
+        work_bar=tuple(sol[v] for v in built.w_vars),
         critical_path=sol[built.l_var],
-        total_work=total_work,
         objective=sol.objective,
         backend=sol.backend,
     )

@@ -26,7 +26,7 @@ fractional processor count ``l*(x) = w(x)/x`` of eq. (12).
 from __future__ import annotations
 
 import math
-from typing import Iterable, List, NamedTuple, Optional, Sequence, Tuple
+from typing import List, NamedTuple, Optional, Sequence, Tuple
 
 __all__ = [
     "AssumptionError",

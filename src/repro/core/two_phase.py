@@ -21,7 +21,7 @@ lengths (Lemmas 4.3/4.4) and the proven ratio bound r(m) — so callers can
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Tuple
 
 from ..schedule import Schedule, slot_classes
 from .instance import Instance

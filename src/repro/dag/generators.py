@@ -415,7 +415,6 @@ def random_family(
     The exact node count depends on the family's structure; callers should
     read ``dag.n_nodes`` rather than assume ``size``.
     """
-    rng = _rng(seed)
     if family == "layered":
         layers = max(2, size // 5)
         return layered_dag(size, layers, 0.5, seed)

@@ -1,0 +1,32 @@
+"""Batch scheduling engine: parallel fan-out of the two-phase algorithm.
+
+High-throughput front end over :func:`repro.jz_schedule`::
+
+    from repro.engine import jz_schedule_many
+
+    result = jz_schedule_many(instances, workers=4)
+    result.throughput              # solved instances / second
+    result.records[0].makespan     # bit-identical to jz_schedule(...)
+    result.errors()                # isolated per-instance failures
+
+See :mod:`repro.engine.batch` for the runner, record types and the
+JSON-lines export the ``python -m repro batch`` subcommand uses.
+"""
+
+from .batch import (
+    BatchRecord,
+    BatchResult,
+    BatchRunner,
+    jz_schedule_many,
+    read_jsonl,
+    write_jsonl,
+)
+
+__all__ = [
+    "BatchRecord",
+    "BatchResult",
+    "BatchRunner",
+    "jz_schedule_many",
+    "read_jsonl",
+    "write_jsonl",
+]

@@ -1,0 +1,333 @@
+"""Parallel batch execution of the two-phase algorithm.
+
+The sequential API solves one instance per call; serving benchmark sweeps
+and bulk workloads wants a *batch* entry point that fans a list of
+instances out across a process pool and collects per-instance results
+without letting one bad instance poison the run.  This module provides:
+
+* :func:`jz_schedule_many` / :class:`BatchRunner` — fan-out over a
+  ``concurrent.futures.ProcessPoolExecutor`` (or fully in-process when
+  ``workers <= 1``), preserving input order;
+* :class:`BatchRecord` — one instance's outcome: either the certificate
+  numbers of a successful run (makespan, LP bound ``C*``, proven r(m),
+  observed ratio, parameters) or an isolated failure with its traceback;
+* JSON-lines export (:func:`write_jsonl` / :func:`read_jsonl`) consumed by
+  ``python -m repro batch``.
+
+Determinism: every record is computed by the same code path as a direct
+:func:`repro.jz_schedule` call on that instance, and records are keyed by
+input position — so makespans and certificate bounds are bit-identical to
+the sequential path for *any* worker count (asserted in the test suite).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+
+from ..core.instance import Instance
+
+__all__ = [
+    "BatchRecord",
+    "BatchResult",
+    "BatchRunner",
+    "jz_schedule_many",
+    "read_jsonl",
+    "write_jsonl",
+]
+
+_PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class BatchRecord:
+    """Outcome of one instance in a batch.
+
+    ``status`` is ``"ok"`` or ``"error"``.  On success the certificate
+    numbers are filled in; on failure ``error`` holds the formatted
+    traceback and the numeric fields are ``None``.  ``index`` is the
+    instance's position in the submitted batch.
+    """
+
+    index: int
+    status: str
+    name: Optional[str] = None
+    n_tasks: Optional[int] = None
+    m: Optional[int] = None
+    makespan: Optional[float] = None
+    lower_bound: Optional[float] = None
+    ratio_bound: Optional[float] = None
+    observed_ratio: Optional[float] = None
+    rho: Optional[float] = None
+    mu: Optional[int] = None
+    wall_time: Optional[float] = None
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the instance was solved."""
+        return self.status == "ok"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible dict (one JSONL line)."""
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """All records of a batch run, in input order, plus run metadata."""
+
+    records: tuple
+    workers: int
+    wall_time: float
+
+    @property
+    def n_ok(self) -> int:
+        """Number of successfully solved instances."""
+        return sum(1 for r in self.records if r.ok)
+
+    @property
+    def n_errors(self) -> int:
+        """Number of isolated failures."""
+        return len(self.records) - self.n_ok
+
+    @property
+    def throughput(self) -> float:
+        """Solved instances per second of batch wall time."""
+        return self.n_ok / self.wall_time if self.wall_time > 0 else 0.0
+
+    def errors(self) -> List[BatchRecord]:
+        """The failed records."""
+        return [r for r in self.records if not r.ok]
+
+    def summary(self) -> Dict[str, Any]:
+        """Aggregate numbers for reports and the CLI."""
+        return {
+            "instances": len(self.records),
+            "ok": self.n_ok,
+            "errors": self.n_errors,
+            "workers": self.workers,
+            "wall_time": self.wall_time,
+            "throughput": self.throughput,
+        }
+
+
+def _solve_one(payload) -> Dict[str, Any]:
+    """Worker body: solve one instance, never raise.
+
+    Module-level so it pickles under every multiprocessing start method.
+    Returns a plain dict (cheap to pickle back) that :class:`BatchRunner`
+    turns into a :class:`BatchRecord`.
+    """
+    index, instance, rho, mu, lp_backend = payload
+    t0 = time.perf_counter()
+    # Exception (not BaseException): KeyboardInterrupt/SystemExit must
+    # propagate so in-process batch runs stay interruptible.
+    try:
+        from ..core.two_phase import jz_schedule
+
+        res = jz_schedule(instance, rho=rho, mu=mu, lp_backend=lp_backend)
+        cert = res.certificate
+        return {
+            "index": index,
+            "status": "ok",
+            "name": instance.name,
+            "n_tasks": instance.n_tasks,
+            "m": instance.m,
+            "makespan": res.makespan,
+            "lower_bound": cert.lower_bound,
+            "ratio_bound": cert.ratio_bound,
+            "observed_ratio": res.observed_ratio,
+            "rho": cert.parameters.rho,
+            "mu": cert.parameters.mu,
+            "wall_time": time.perf_counter() - t0,
+        }
+    except Exception:
+        return {
+            "index": index,
+            "status": "error",
+            "name": _safe_attr(instance, "name"),
+            "n_tasks": _safe_attr(instance, "n_tasks"),
+            "m": _safe_attr(instance, "m"),
+            "wall_time": time.perf_counter() - t0,
+            "error": traceback.format_exc(),
+        }
+
+
+def _pool_error_record(payload, exc: BaseException) -> Dict[str, Any]:
+    """Error record for a failure that happened at the pool layer (worker
+    death, pickling) rather than inside the solve itself."""
+    index, instance = payload[0], payload[1]
+    return {
+        "index": index,
+        "status": "error",
+        "name": _safe_attr(instance, "name"),
+        "n_tasks": _safe_attr(instance, "n_tasks"),
+        "m": _safe_attr(instance, "m"),
+        "error": (
+            f"worker/pool failure: {type(exc).__name__}: {exc}\n"
+            "(the instance was not retried in the parent process)"
+        ),
+    }
+
+
+def _safe_attr(obj, attr):
+    """``getattr`` that also swallows raising properties — error-record
+    construction must never raise, whatever the failed instance does."""
+    try:
+        value = getattr(obj, attr, None)
+    except Exception:
+        return None
+    return value if isinstance(value, (str, int, float, type(None))) else None
+
+
+@dataclass
+class BatchRunner:
+    """Reusable batch executor.
+
+    Parameters
+    ----------
+    workers:
+        Process count; ``None`` means ``os.cpu_count()``.  ``0`` or ``1``
+        solves in-process (no pool) — same records, no pickling.
+    rho, mu:
+        Optional parameter overrides forwarded to every
+        :func:`repro.jz_schedule` call (ablation sweeps).
+    lp_backend:
+        LP backend forwarded to phase 1.
+    max_pending:
+        Cap on in-flight futures; bounds memory on huge batches.
+    use_pool:
+        ``None`` (default) spawns a pool only when ``workers > 1``;
+        ``True`` forces a pool even for one worker (pool-to-pool scaling
+        baselines in benchmarks); ``False`` forces in-process execution.
+    """
+
+    workers: Optional[int] = None
+    rho: Optional[float] = None
+    mu: Optional[int] = None
+    lp_backend: str = "auto"
+    max_pending: int = field(default=256)
+    use_pool: Optional[bool] = None
+
+    def resolved_workers(self) -> int:
+        """The effective worker count."""
+        if self.workers is None:
+            return os.cpu_count() or 1
+        if self.workers < 0:
+            raise ValueError(f"workers must be >= 0, got {self.workers}")
+        return self.workers
+
+    def run(self, instances: Sequence[Instance]) -> BatchResult:
+        """Solve every instance; returns records in input order.
+
+        A failing instance (bad profile, solver error, unpicklable object,
+        even a crashed worker process) yields an ``"error"`` record and
+        never crashes the run or loses other records.  Exceptions raised
+        *inside* a solve are fully isolated; a worker process that dies
+        outright may additionally error the instances that were in flight
+        on the broken pool — they are recorded as pool failures, never
+        retried in the parent (a crash-inducing instance must not get a
+        second chance there).
+        """
+        instances = list(instances)
+        workers = self.resolved_workers()
+        t0 = time.perf_counter()
+        payloads = [
+            (i, inst, self.rho, self.mu, self.lp_backend)
+            for i, inst in enumerate(instances)
+        ]
+        pooled = (
+            workers > 1 and len(instances) > 1
+            if self.use_pool is None
+            else self.use_pool and workers >= 1 and len(instances) > 0
+        )
+        if pooled:
+            raw = self._run_pool(payloads, max(1, workers))
+        else:
+            raw = [_solve_one(p) for p in payloads]
+        records = tuple(
+            BatchRecord(**r) for r in sorted(raw, key=lambda r: r["index"])
+        )
+        return BatchResult(
+            records=records,
+            workers=workers,
+            wall_time=time.perf_counter() - t0,
+        )
+
+    def _run_pool(self, payloads, workers: int) -> List[Dict[str, Any]]:
+        raw: List[Dict[str, Any]] = []
+        todo = list(reversed(payloads))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            pending = {}
+            while todo or pending:
+                while todo and len(pending) < self.max_pending:
+                    payload = todo.pop()
+                    try:
+                        fut = pool.submit(_solve_one, payload)
+                    except Exception as exc:
+                        # e.g. a broken pool: record, don't crash the run.
+                        raw.append(_pool_error_record(payload, exc))
+                        continue
+                    pending[fut] = payload
+                if not pending:
+                    continue
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for fut in done:
+                    payload = pending.pop(fut)
+                    exc = fut.exception()
+                    if exc is None:
+                        raw.append(fut.result())
+                    else:
+                        # Pool-level failure: unpicklable payload, or a
+                        # worker process that died (segfault, OOM kill,
+                        # BrokenProcessPool).  Record the error rather
+                        # than re-running the payload in this process —
+                        # a crash-inducing instance must never be given
+                        # a chance to take the parent down with it.
+                        raw.append(_pool_error_record(payload, exc))
+        return raw
+
+
+def jz_schedule_many(
+    instances: Sequence[Instance],
+    workers: Optional[int] = None,
+    rho: Optional[float] = None,
+    mu: Optional[int] = None,
+    lp_backend: str = "auto",
+) -> BatchResult:
+    """Solve a batch of instances on a process pool.
+
+    Thin convenience wrapper over :class:`BatchRunner`; see its docs.
+    Makespans and certificate bounds are bit-identical to calling
+    :func:`repro.jz_schedule` on each instance sequentially, for any
+    ``workers`` value.
+    """
+    return BatchRunner(
+        workers=workers, rho=rho, mu=mu, lp_backend=lp_backend
+    ).run(instances)
+
+
+def write_jsonl(records: Iterable[BatchRecord], path: _PathLike) -> int:
+    """Write records as JSON lines; returns the number written."""
+    n = 0
+    with open(path, "w") as fh:
+        for rec in records:
+            fh.write(json.dumps(rec.to_dict()) + "\n")
+            n += 1
+    return n
+
+
+def read_jsonl(path: _PathLike) -> List[BatchRecord]:
+    """Read records back from a JSON-lines file."""
+    out: List[BatchRecord] = []
+    for line in Path(path).read_text().splitlines():
+        if line.strip():
+            out.append(BatchRecord(**json.loads(line)))
+    return out

@@ -17,8 +17,8 @@ linear constraints with senses ``<=``, ``>=`` or ``==``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
 
 __all__ = ["LinearProgram", "LpSolution", "LpStatus", "LpError"]
 

@@ -22,7 +22,50 @@ except ImportError as _exc:  # pragma: no cover
 
 from .model import LinearProgram, LpError, LpSolution, LpStatus
 
-__all__ = ["solve_with_scipy"]
+__all__ = ["solve_with_scipy", "solve_ub_arrays"]
+
+
+def _solution_from_linprog(res) -> LpSolution:
+    """Translate a ``scipy.optimize.OptimizeResult`` into an LpSolution."""
+    if res.status == 2:
+        raise LpError(LpStatus.INFEASIBLE)
+    if res.status == 3:
+        raise LpError(LpStatus.UNBOUNDED)
+    if not res.success:  # pragma: no cover - solver-internal failures
+        raise LpError(f"scipy/highs failed: {res.message}")
+    return LpSolution(
+        status=LpStatus.OPTIMAL,
+        objective=float(res.fun),
+        values=tuple(float(v) for v in res.x),
+        backend="scipy",
+        iterations=int(getattr(res, "nit", 0) or 0),
+    )
+
+
+def solve_ub_arrays(arrays) -> LpSolution:
+    """Solve a pre-assembled ``A_ub v <= b_ub`` LP with HiGHS.
+
+    ``arrays`` is an :class:`repro.core.lp.AllotmentArrays`-shaped tuple
+    (COO triplets plus objective and bounds) produced by bulk NumPy
+    assembly — no per-constraint Python conversion happens here.
+    """
+    n = arrays.n_variables
+    A_ub = (
+        _csr(
+            (arrays.vals, (arrays.rows, arrays.cols)),
+            shape=(len(arrays.b_ub), n),
+        )
+        if len(arrays.b_ub)
+        else None
+    )
+    res = _linprog(
+        arrays.c,
+        A_ub=A_ub,
+        b_ub=arrays.b_ub if len(arrays.b_ub) else None,
+        bounds=np.column_stack([arrays.lo, arrays.hi]),
+        method="highs",
+    )
+    return _solution_from_linprog(res)
 
 
 def solve_with_scipy(lp: LinearProgram) -> LpSolution:
@@ -77,16 +120,4 @@ def solve_with_scipy(lp: LinearProgram) -> LpSolution:
         bounds=bounds,
         method="highs",
     )
-    if res.status == 2:
-        raise LpError(LpStatus.INFEASIBLE)
-    if res.status == 3:
-        raise LpError(LpStatus.UNBOUNDED)
-    if not res.success:  # pragma: no cover - solver-internal failures
-        raise LpError(f"scipy/highs failed: {res.message}")
-    return LpSolution(
-        status=LpStatus.OPTIMAL,
-        objective=float(res.fun),
-        values=tuple(float(v) for v in res.x),
-        backend="scipy",
-        iterations=int(getattr(res, "nit", 0) or 0),
-    )
+    return _solution_from_linprog(res)

@@ -15,7 +15,7 @@ overhead, cache effects) are provided too, together with repair utilities in
 from __future__ import annotations
 
 import math
-from typing import List, Sequence
+from typing import List
 
 __all__ = [
     "power_law_profile",

@@ -8,7 +8,7 @@ of Fig. 1 or the A/B crossing of Figs. 3/4 in a terminal or a log file.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 __all__ = ["ascii_line_chart", "ascii_bars"]
 

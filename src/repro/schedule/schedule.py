@@ -11,7 +11,7 @@ processors at any time and (ii) ``C_i <= τ_j`` for every arc ``(i, j)``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 __all__ = ["ScheduledTask", "Schedule"]
 

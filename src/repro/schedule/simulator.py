@@ -6,10 +6,17 @@ set, free processors and precedence readiness.  It is an independent
 re-implementation of feasibility (distinct from the sweep in
 :mod:`repro.schedule.validator`) used to cross-check the validator and to
 produce execution traces for the examples.
+
+Events are drained from a binary heap keyed ``(time, kind, seq)``:
+finishes (kind 0) before starts (kind 1) at equal times — so a successor
+may begin exactly when its predecessor completes — and the insertion
+sequence number keeps full ties in entry order, matching the stable sort
+the trace format was defined with.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import List, Tuple
 
@@ -49,9 +56,10 @@ def simulate(instance: Instance, schedule: Schedule) -> SimulationTrace:
     violation (capacity, precedence, duration mismatch)."""
     m = instance.m
     scale = 1.0 + schedule.makespan
-    # Build the event list: finishes before starts at equal times so that a
-    # successor may start exactly when its predecessor completes.
-    raw: List[Tuple[float, int, str, int]] = []
+    # Event heap: (time, kind, seq) with finishes (0) before starts (1) at
+    # equal times, and the insertion sequence breaking exact ties stably.
+    heap: List[Tuple[float, int, int, str, int]] = []
+    seq = 0
     for e in schedule.entries:
         expected = instance.task(e.task).time(e.processors)
         if abs(expected - e.duration) > _TOL * scale:
@@ -59,16 +67,17 @@ def simulate(instance: Instance, schedule: Schedule) -> SimulationTrace:
                 f"task {e.task} duration {e.duration} != profile time "
                 f"{expected} on {e.processors} processors"
             )
-        raw.append((e.start, 1, "start", e.task))
-        raw.append((e.end, 0, "finish", e.task))
-    raw.sort(key=lambda ev: (ev[0], ev[1]))
+        heapq.heappush(heap, (e.start, 1, seq, "start", e.task))
+        heapq.heappush(heap, (e.end, 0, seq + 1, "finish", e.task))
+        seq += 2
 
     free = m
     finished = set()
     running = set()
     peak = 0
     events: List[SimulationEvent] = []
-    for time, _order, kind, task in raw:
+    while heap:
+        time, _order, _seq, kind, task = heapq.heappop(heap)
         entry = schedule[task]
         if kind == "start":
             for p in instance.dag.predecessors(task):

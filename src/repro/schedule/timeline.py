@@ -97,32 +97,38 @@ class ResourceTimeline:
         self, ready: float, duration: float, amount: int
     ) -> float:
         """Earliest ``t >= ready`` with ``amount`` processors free on the
-        whole window ``[t, t + duration)``."""
+        whole window ``[t, t + duration)``.
+
+        Candidate starts are the ready time itself and every breakpoint
+        after it (usage only *drops* at breakpoints where tasks finish, so
+        the earliest feasible start is always one of these).  A single
+        left-to-right sweep finds the first fitting candidate in
+        ``O(#breakpoints)`` total: while extending a window from candidate
+        ``t``, hitting an over-full segment rules out *every* candidate up
+        to that segment's right boundary (any such start keeps the blocked
+        segment inside its window), so the sweep jumps straight there.
+        """
         if not (1 <= amount <= self._m):
             raise ValueError(f"amount {amount} outside [1, {self._m}]")
         ready = max(0.0, ready)
         if duration <= 0:
             return ready
-        n = len(self._times)
-        k = max(0, bisect.bisect_right(self._times, ready) - 1)
-        # Candidate starts: the ready time itself, then every breakpoint
-        # after it (usage only *drops* at breakpoints where tasks finish,
-        # so the earliest feasible start is always one of these).
-        candidates = [ready] + [
-            self._times[i] for i in range(k, n) if self._times[i] > ready
-        ]
-        for t in candidates:
-            if self._fits(t, duration, amount):
-                return t
+        times = self._times
+        usage = self._usage
+        n = len(times)
+        cap = self._m - amount
+        # Segment index covering the ready time (times[0] = 0 <= ready).
+        i = max(0, bisect.bisect_right(times, ready) - 1)
+        start = ready
+        while i < n:
+            if usage[i] > cap:
+                i += 1
+                if i >= n:
+                    break
+                start = times[i]
+            elif i + 1 >= n or times[i + 1] >= start + duration:
+                return start
+            else:
+                i += 1
         # Past the last breakpoint everything is free.
-        return max(ready, self._times[-1])
-
-    def _fits(self, start: float, duration: float, amount: int) -> bool:
-        end = start + duration
-        k = max(0, bisect.bisect_right(self._times, start) - 1)
-        for i in range(k, len(self._times)):
-            if self._times[i] >= end:
-                break
-            if self._usage[i] + amount > self._m:
-                return False
-        return True
+        return max(ready, times[-1])

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Dag, Instance, MalleableTask
+from repro import Instance, MalleableTask
 from repro.core import build_allotment_lp, solve_allotment_lp
 from repro.dag import chain_dag, diamond_dag, independent_dag
 from repro.models import power_law_profile

@@ -134,7 +134,6 @@ class TestExactBnB:
         m = 2
         inst = make_inst(independent_dag(2), m, d=0.5)
         p1, p2 = inst.task(0).time(1), inst.task(0).time(2)
-        expected = min(max(p1, p1), 2 * p2, p1 / 2 + p2 + p2 * 0)
         # side-by-side: max(p1, p1) = p1; both wide: 2*p2; mixed >= those.
         assert optimal_makespan(inst) == pytest.approx(
             min(p1, 2 * p2), rel=1e-9

@@ -1,0 +1,155 @@
+"""Tests for the batch scheduling engine (:mod:`repro.engine`)."""
+
+import json
+
+import pytest
+
+from repro import jz_schedule, jz_schedule_many
+from repro.engine import BatchRunner, read_jsonl, write_jsonl
+from repro.workloads import make_instance
+
+
+def _instances(count=4, size=10, m=4, seed0=0):
+    return [
+        make_instance("layered", size, m, model="power", seed=seed0 + k)
+        for k in range(count)
+    ]
+
+
+class TestDeterminism:
+    def test_bit_identical_across_worker_counts(self):
+        instances = _instances(4)
+        seq = [jz_schedule(i) for i in instances]
+        for workers in (0, 1, 2):
+            res = jz_schedule_many(instances, workers=workers)
+            assert res.n_errors == 0
+            assert [r.index for r in res.records] == [0, 1, 2, 3]
+            for rec, ref in zip(res.records, seq):
+                assert rec.makespan == ref.makespan
+                assert rec.lower_bound == ref.certificate.lower_bound
+                assert rec.ratio_bound == ref.certificate.ratio_bound
+                assert rec.observed_ratio == ref.observed_ratio
+
+    def test_forced_pool_matches_in_process(self):
+        instances = _instances(3)
+        pooled = BatchRunner(workers=1, use_pool=True).run(instances)
+        inproc = BatchRunner(workers=1).run(instances)
+        assert [r.makespan for r in pooled.records] == [
+            r.makespan for r in inproc.records
+        ]
+
+    def test_parameter_overrides_forwarded(self):
+        inst = _instances(1, m=8)[0]
+        res = jz_schedule_many([inst], workers=0, rho=0.3, mu=2)
+        rec = res.records[0]
+        assert rec.rho == 0.3 and rec.mu == 2
+        ref = jz_schedule(inst, rho=0.3, mu=2)
+        assert rec.makespan == ref.makespan
+
+
+class TestFailureIsolation:
+    def test_bad_instance_is_isolated(self):
+        instances = _instances(2)
+        batch = [instances[0], object(), instances[1]]
+        for workers in (0, 2):
+            res = jz_schedule_many(batch, workers=workers)
+            assert [r.status for r in res.records] == ["ok", "error", "ok"]
+            assert res.n_errors == 1
+            err = res.records[1]
+            assert err.makespan is None
+            assert err.error and "Traceback" in err.error
+            assert res.records[0].ok and res.records[2].ok
+
+    def test_errors_listed(self):
+        res = jz_schedule_many([None], workers=0)
+        assert len(res.errors()) == 1
+        assert res.summary()["errors"] == 1
+
+
+class TestEmptyBatch:
+    @pytest.mark.parametrize("workers", [0, 2])
+    def test_empty(self, workers):
+        res = jz_schedule_many([], workers=workers)
+        assert res.records == ()
+        assert res.n_ok == 0 and res.n_errors == 0
+        assert res.throughput == 0.0 or res.throughput >= 0.0
+        s = res.summary()
+        assert s["instances"] == 0
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ValueError):
+            BatchRunner(workers=-1).run([])
+
+
+class TestJsonl:
+    def test_roundtrip(self, tmp_path):
+        res = jz_schedule_many(_instances(2) + [None], workers=0)
+        path = tmp_path / "records.jsonl"
+        n = write_jsonl(res.records, path)
+        assert n == 3
+        back = read_jsonl(path)
+        assert [r.index for r in back] == [0, 1, 2]
+        assert back[0].makespan == res.records[0].makespan
+        assert back[2].status == "error"
+        # Every line is standalone JSON.
+        lines = path.read_text().splitlines()
+        assert all(json.loads(line)["status"] for line in lines)
+
+
+class TestCliBatch:
+    def test_generate_sweep(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "res.jsonl"
+        rc = main(
+            [
+                "batch", "--generate", "layered", "--count", "3",
+                "--size", "8", "-m", "4", "-w", "0", "-o", str(out),
+            ]
+        )
+        assert rc == 0
+        records = read_jsonl(out)
+        assert len(records) == 3 and all(r.ok for r in records)
+        assert "3/3 ok" in capsys.readouterr().err
+
+    def test_instance_files(self, tmp_path, capsys):
+        from repro.cli import main
+
+        paths = []
+        for k in range(2):
+            p = tmp_path / f"inst{k}.json"
+            main(
+                ["generate", "--family", "diamond", "--size", "6",
+                 "-m", "4", "--seed", str(k), "-o", str(p)]
+            )
+            paths.append(str(p))
+        capsys.readouterr()
+        rc = main(["batch", "-w", "0", *paths])
+        assert rc == 0
+        out = capsys.readouterr()
+        assert len(out.out.splitlines()) == 2  # one JSONL line each
+
+    def test_no_input_is_an_error(self, capsys):
+        from repro.cli import main
+
+        assert main(["batch"]) == 2
+
+    def test_unloadable_file_isolated_with_exit_code_1(
+        self, tmp_path, capsys
+    ):
+        from repro.cli import main
+
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"format": "repro-instance", "version": 1}')
+        good = tmp_path / "good.json"
+        main(
+            ["generate", "--family", "chain", "--size", "4", "-m", "2",
+             "-o", str(good)]
+        )
+        capsys.readouterr()
+        out = tmp_path / "res.jsonl"
+        rc = main(["batch", "-w", "0", str(bad), str(good), "-o", str(out)])
+        assert rc == 1
+        records = read_jsonl(out)
+        assert [r.status for r in records] == ["error", "ok"]
+        assert "cannot load" in capsys.readouterr().err

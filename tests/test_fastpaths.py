@@ -1,0 +1,99 @@
+"""Equivalence tests for the vectorized/incremental hot paths.
+
+The optimized implementations must not change results:
+
+* :func:`repro.core.list_scheduler.list_schedule` (incremental
+  earliest-start cache) is bit-identical to
+  :func:`repro.core.list_scheduler.list_schedule_reference` (literal
+  Table 1 transcription);
+* :func:`repro.core.lp.solve_allotment_lp` via bulk NumPy assembly
+  matches the modeling-layer path on the same solver.
+"""
+
+import random
+
+import pytest
+
+from repro.core import build_allotment_lp, solve_allotment_lp
+from repro.core.list_scheduler import list_schedule, list_schedule_reference
+from repro.core.lp import assemble_allotment_arrays
+from repro.workloads import make_instance
+
+scipy = pytest.importorskip("scipy")
+
+
+def _entries(schedule):
+    return [
+        (e.task, e.start, e.processors, e.duration)
+        for e in schedule.entries
+    ]
+
+
+@pytest.mark.parametrize("trial", range(12))
+def test_list_schedule_matches_reference(trial):
+    rng = random.Random(trial)
+    family = rng.choice(
+        ["layered", "erdos_renyi", "fork_join", "series_parallel",
+         "independent", "diamond", "cholesky", "stencil"]
+    )
+    m = rng.choice([2, 4, 8])
+    inst = make_instance(
+        family, rng.choice([6, 15, 40]), m,
+        model=rng.choice(["power", "amdahl", "log", "mixed"]), seed=trial,
+    )
+    alloc = [rng.randint(1, m) for _ in range(inst.n_tasks)]
+    mu = rng.choice([None, 1, (m + 1) // 2, m])
+    fast = list_schedule(inst, alloc, mu=mu)
+    ref = list_schedule_reference(inst, alloc, mu=mu)
+    assert _entries(fast) == _entries(ref)
+
+
+def test_list_schedule_validates_arguments_like_reference():
+    inst = make_instance("diamond", 6, 4, seed=0)
+    for fn in (list_schedule, list_schedule_reference):
+        with pytest.raises(ValueError):
+            fn(inst, [1] * inst.n_tasks, mu=0)
+        with pytest.raises(ValueError):
+            fn(inst, [99] * inst.n_tasks)
+
+
+@pytest.mark.parametrize("trial", range(6))
+def test_bulk_lp_assembly_matches_model_path(trial):
+    from repro.lpsolve.scipy_backend import solve_with_scipy
+
+    rng = random.Random(100 + trial)
+    inst = make_instance(
+        rng.choice(["layered", "erdos_renyi", "chain", "independent"]),
+        rng.choice([5, 12, 30]),
+        rng.choice([1, 2, 4, 8]),
+        model=rng.choice(["power", "amdahl"]),
+        seed=trial,
+    )
+    fast = solve_allotment_lp(inst)  # bulk assembly + HiGHS
+    built = build_allotment_lp(inst)
+    ref = solve_with_scipy(built.lp)  # per-constraint conversion + HiGHS
+    assert fast.objective == ref.objective
+    assert fast.x == tuple(ref[v] for v in built.x_vars)
+    assert fast.completion == tuple(ref[v] for v in built.c_vars)
+    assert fast.critical_path == ref[built.l_var]
+
+
+def test_assembled_arrays_shape_and_layout():
+    inst = make_instance("layered", 20, 8, model="power", seed=3)
+    built = build_allotment_lp(inst)
+    arrays = assemble_allotment_arrays(inst)
+    assert arrays.n_variables == built.lp.n_variables
+    assert len(arrays.b_ub) == built.lp.n_constraints
+    # Same objective vector and bounds as the modeling layer.
+    assert tuple(arrays.c) == built.lp.objective_coefficients
+    assert [tuple(b) for b in zip(arrays.lo, arrays.hi)] == list(
+        built.lp.bounds
+    )
+
+
+def test_simplex_backend_still_uses_model_path():
+    inst = make_instance("diamond", 6, 4, model="power", seed=1)
+    res = solve_allotment_lp(inst, backend="simplex")
+    assert res.backend == "simplex"
+    auto = solve_allotment_lp(inst)
+    assert auto.objective == pytest.approx(res.objective, rel=1e-6)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Dag, Instance, MalleableTask, assert_feasible
+from repro import Dag, Instance, assert_feasible
 from repro.core import capped_allotment, list_schedule
 from repro.dag import chain_dag, diamond_dag, independent_dag, layered_dag
 from repro.models import power_law_profile

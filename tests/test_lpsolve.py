@@ -114,7 +114,7 @@ class TestSolvers:
 
     def test_unbounded_detected(self, backend):
         lp = LinearProgram()
-        x = lp.add_variable("x", obj=-1.0)  # min -x, x >= 0 unbounded
+        lp.add_variable("x", obj=-1.0)  # min -x, x >= 0 unbounded
         lp.add_variable("y")
         with pytest.raises(LpError):
             lp.solve(backend=backend)

@@ -1,7 +1,5 @@
 """Unit tests for speedup-profile generators and repair utilities."""
 
-import math
-
 import pytest
 
 from repro.core import MalleableTask

@@ -9,9 +9,8 @@ These target the mathematical heart of the reproduction:
 * the repair utilities' postconditions.
 """
 
-import math
 
-from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro import Dag, Instance, MalleableTask
@@ -249,7 +248,7 @@ def test_lp_objective_is_max_of_parts(n, m, seed):
 @settings(max_examples=200)
 def test_enforce_assumptions_always_produces_valid_profile(times):
     fixed = enforce_assumptions(times)
-    t = MalleableTask(fixed)  # validates Assumptions 1 and 2
+    MalleableTask(fixed)  # validates Assumptions 1 and 2
     # Repair never slows the task down below the running minimum.
     run_min = []
     best = float("inf")

@@ -3,8 +3,6 @@
 import pytest
 
 from repro import Dag, Instance, MalleableTask
-from repro.dag import chain_dag, diamond_dag
-from repro.models import power_law_profile
 from repro.schedule import (
     InfeasibleScheduleError,
     Schedule,

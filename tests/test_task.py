@@ -1,7 +1,5 @@
 """Unit tests for the malleable-task model (paper Sections 1–2)."""
 
-import math
-
 import pytest
 
 from repro.core import AssumptionError, MalleableTask

@@ -215,7 +215,7 @@ class TestAsymptotics:
             g = grid_minimize(m, rho_step=1e-4)
             # Compare achieved objective values, not the raw ρ (the grid
             # optimizes over integer μ too).
-            a = branch_a(m, grid_mu := g.mu, g.rho)
+            branch_a(m, g.mu, g.rho)
             assert 0.0 < rho_eq < 1.0
 
     def test_eq21_guard(self):

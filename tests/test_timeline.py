@@ -109,7 +109,6 @@ class TestEarliestStart:
             (2.5, 1.5, 1),
         ]:
             t = tl.earliest_start(ready, dur, amt)
-            probe = ResourceTimeline(3)
             for (s, u) in tl.profile():
                 pass  # smoke: profile is accessible
             tl.reserve(t, t + dur, amt)  # must not raise

@@ -15,7 +15,6 @@ from repro.dag import (
     stencil_dag,
 )
 from repro.models import power_law_profile
-from repro.schedule import slot_classes
 
 
 def make_inst(dag, m, d=0.6, p1=10.0, vary=True):
