@@ -1,0 +1,130 @@
+"""Benchmark E6 — strategy registry sweep.
+
+Runs **every registered allotment strategy** (composed with the paper's
+``earliest-start`` rule) plus every phase-2 priority variant behind the
+JZ allotment, on one fixed pool of generated instances, and writes
+``BENCH_strategies.json`` with per-strategy makespan ratios and
+runtimes.
+
+Ratios are comparable across strategies because every makespan is
+divided by the *same* per-instance certified lower bound
+(:func:`repro.lower_bounds`, LP-backed), not by whatever bound the
+strategy itself produced.
+
+Run:  PYTHONPATH=src python benchmarks/bench_strategies.py [--smoke] [-o OUT]
+
+``--smoke`` shrinks the pool for CI (wired into the bench-smoke job as
+an uploaded artifact); the committed reference JSON comes from a full
+run.
+"""
+
+import argparse
+import json
+import os
+import platform
+import sys
+
+from repro import lower_bounds
+from repro.pipeline import SchedulingPipeline, list_strategies
+from repro.schedule import validate_schedule
+from repro.workloads import make_instance
+
+
+def build_pool(smoke):
+    """Fixed instance pool: 3 DAG shapes × 2 models × a few draws each."""
+    size, m = (10, 4) if smoke else (40, 8)
+    draws = 2 if smoke else 4
+    specs = [
+        (family, model)
+        for family in ("layered", "fork_join", "series_parallel")
+        for model in ("power", "amdahl")
+        for _ in range(draws)
+    ]
+    return [
+        make_instance(family, size, m, model=model, seed=1000 + k)
+        for k, (family, model) in enumerate(specs)
+    ]
+
+
+def bench_combo(algorithm, priority, pool, reference_bounds):
+    """One strategy pair over the whole pool; returns the summary row."""
+    pipe = SchedulingPipeline(algorithm, priority)
+    ratios, times, allot_times, sched_times = [], [], [], []
+    for inst, ref_lb in zip(pool, reference_bounds):
+        rep = pipe.solve(inst)
+        assert validate_schedule(inst, rep.schedule) == [], (
+            f"{algorithm}×{priority} produced an infeasible schedule "
+            f"on {inst.name}"
+        )
+        ratios.append(rep.makespan / ref_lb)
+        times.append(rep.wall_time)
+        allot_times.append(rep.allotment_time)
+        sched_times.append(rep.schedule_time)
+    n = len(pool)
+    return {
+        "algorithm": algorithm,
+        "priority": priority,
+        "instances": n,
+        "mean_makespan_ratio": sum(ratios) / n,
+        "max_makespan_ratio": max(ratios),
+        "mean_solve_time_s": sum(times) / n,
+        "mean_allotment_time_s": sum(allot_times) / n,
+        "mean_schedule_time_s": sum(sched_times) / n,
+    }
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="small sizes for CI")
+    ap.add_argument("-o", "--output", default="BENCH_strategies.json")
+    args = ap.parse_args(argv)
+
+    pool = build_pool(args.smoke)
+    # One LP-backed certified bound per instance, shared by every row.
+    reference_bounds = [lower_bounds(inst).best for inst in pool]
+
+    combos = [
+        (info.name, "earliest-start")
+        for info in list_strategies("allotment")
+    ] + [
+        (info.name, info2.name)
+        for info in list_strategies("allotment")
+        if info.name == "jz"
+        for info2 in list_strategies("phase2")
+        if info2.name != "earliest-start"
+    ]
+    rows = [
+        bench_combo(algorithm, priority, pool, reference_bounds)
+        for algorithm, priority in combos
+    ]
+    rows.sort(key=lambda r: r["mean_makespan_ratio"])
+
+    result = {
+        "benchmark": "bench_strategies",
+        "smoke": args.smoke,
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "pool": {
+            "instances": len(pool),
+            "names": [inst.name for inst in pool],
+        },
+        "strategies": rows,
+    }
+    with open(args.output, "w") as fh:
+        json.dump(result, fh, indent=2)
+
+    width = max(len(f"{r['algorithm']}×{r['priority']}") for r in rows)
+    for r in rows:
+        label = f"{r['algorithm']}×{r['priority']}"
+        print(
+            f"{label:<{width}}  ratio mean {r['mean_makespan_ratio']:.4f} "
+            f"max {r['max_makespan_ratio']:.4f}  "
+            f"time {r['mean_solve_time_s'] * 1e3:8.2f} ms"
+        )
+    print(f"written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,20 +23,34 @@ Theory (Tables 2/3/4 and the asymptotics of Section 4.3) lives in
 schedulers, plus an exact branch-and-bound for tiny instances) live in
 :mod:`repro.baselines`.
 
+Pipeline API (:mod:`repro.pipeline`) — every solver as a registered
+strategy pair::
+
+    from repro import SchedulingPipeline, list_strategies
+
+    report = SchedulingPipeline("ltw", "critical-path").solve(instance)
+    report.makespan, report.lower_bound, report.observed_ratio
+    [i.name for i in list_strategies("allotment")]
+    # ['bsearch', 'full', 'greedy-critical-path', 'jz', 'ltw',
+    #  'sequential']
+
 Batch API (:mod:`repro.engine`)::
 
-    from repro import jz_schedule_many
+    from repro import jz_schedule_many, solve_many
 
     result = jz_schedule_many(instances, workers=4)   # process-pool fan-out
     result.records[0].makespan        # bit-identical to jz_schedule(...)
     result.throughput                 # solved instances / second
     result.errors()                   # per-instance failures, isolated
 
-``jz_schedule_many`` preserves input order, isolates failures (one bad
+    solve_many(instances, algorithm="ltw", priority="fifo", workers=4)
+
+The batch engine preserves input order, isolates failures (one bad
 instance yields an ``"error"`` record instead of poisoning the batch) and
 returns makespans and certificate bounds bit-identical to the sequential
-path for any worker count.  ``python -m repro batch`` exposes the same
-engine on the command line with JSON-lines output.
+path for any worker count — for *any* registered strategy combination.
+``python -m repro batch --algorithm NAME --priority RULE`` exposes the
+same engine on the command line with schema-versioned JSON-lines output.
 """
 
 from .core import (
@@ -55,7 +69,19 @@ from .core import (
 )
 from .bounds import LowerBounds, lower_bounds
 from .dag import Dag
-from .engine import BatchRecord, BatchResult, BatchRunner, jz_schedule_many
+from .engine import (
+    BatchRecord,
+    BatchResult,
+    BatchRunner,
+    jz_schedule_many,
+    solve_many,
+)
+from .pipeline import (
+    SchedulingPipeline,
+    SolveReport,
+    UnknownStrategyError,
+    list_strategies,
+)
 from .schedule import (
     Schedule,
     ScheduledTask,
@@ -81,17 +107,22 @@ __all__ = [
     "MalleableTask",
     "Schedule",
     "ScheduledTask",
+    "SchedulingPipeline",
+    "SolveReport",
+    "UnknownStrategyError",
     "assert_feasible",
     "extract_heavy_path",
     "jz_parameters",
     "jz_schedule",
     "jz_schedule_many",
     "list_schedule",
+    "list_strategies",
     "lower_bounds",
     "ratio_bound",
     "render_gantt",
     "simulate",
     "solve_allotment_lp",
+    "solve_many",
     "validate_schedule",
     "__version__",
 ]

@@ -2,16 +2,21 @@
 
 ``python -m repro <command>`` (or the ``repro-sched`` console script):
 
-* ``demo``       — build a random instance, run the JZ algorithm, print a
-  Gantt chart and the certificate.
-* ``solve``      — solve an instance JSON file; optionally write the
-  schedule JSON and print a Gantt chart.
+* ``demo``       — build a random instance, run a pipeline, print a
+  Gantt chart and the report.
+* ``solve``      — solve an instance JSON file with any registered
+  strategy pair; optionally write the schedule JSON and print a Gantt.
+* ``strategies`` — print the strategy registry (allotment + phase-2).
 * ``tables``     — print the paper's Table 2 / 3 / 4, regenerated.
 * ``params``     — print ρ(m), μ(m), r(m) for a machine size.
 * ``generate``   — emit a workload instance JSON to stdout or a file.
 * ``validate``   — check a schedule JSON against an instance JSON.
 * ``batch``      — solve many instance JSON files (or a generated sweep)
   on a process pool via :mod:`repro.engine`, writing JSON-lines results.
+
+``solve``, ``demo`` and ``batch`` all accept ``--algorithm`` (allotment
+strategy) and ``--priority`` (phase-2 rule); ``strategies`` lists the
+valid names.
 """
 
 from __future__ import annotations
@@ -22,6 +27,45 @@ import sys
 from typing import List, Optional
 
 __all__ = ["main", "build_parser"]
+
+_STRATEGY_EPILOG = """\
+examples:
+  %(prog)s inst.json --algorithm jz
+  %(prog)s inst.json --algorithm ltw --priority critical-path
+  %(prog)s inst.json --algorithm sequential --gantt
+
+`repro-sched strategies` lists every registered --algorithm and
+--priority name.
+"""
+
+_BATCH_EPILOG = """\
+examples:
+  %(prog)s a.json b.json --algorithm jz -o records.jsonl
+  %(prog)s --generate layered --count 16 --algorithm ltw -w 4
+  %(prog)s --generate fork_join --algorithm greedy-critical-path \\
+      --priority widest
+
+`repro-sched strategies` lists every registered --algorithm and
+--priority name.
+"""
+
+
+def _add_strategy_options(sub: argparse.ArgumentParser) -> None:
+    """--algorithm / --priority, shared by demo, solve and batch.
+
+    Names are validated against the registry at run time (not via
+    argparse ``choices``) so error messages can list what *is*
+    registered — including strategies registered by user code.
+    """
+    sub.add_argument(
+        "--algorithm", default="jz", metavar="NAME",
+        help="allotment strategy (default: jz; see 'strategies')",
+    )
+    sub.add_argument(
+        "--priority", default="earliest-start", metavar="RULE",
+        help="phase-2 priority rule (default: earliest-start; "
+             "see 'strategies')",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -35,21 +79,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = p.add_subparsers(dest="command", required=True)
 
-    d = sub.add_parser("demo", help="run the algorithm on a random instance")
+    d = sub.add_parser("demo", help="run a pipeline on a random instance")
     d.add_argument("--family", default="layered")
     d.add_argument("--size", type=int, default=24)
     d.add_argument("-m", "--processors", type=int, default=8)
     d.add_argument("--model", default="power")
     d.add_argument("--seed", type=int, default=0)
+    _add_strategy_options(d)
 
-    s = sub.add_parser("solve", help="solve an instance JSON file")
+    s = sub.add_parser(
+        "solve",
+        help="solve an instance JSON file",
+        epilog=_STRATEGY_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
     s.add_argument("instance", help="path to instance JSON")
     s.add_argument("-o", "--output", help="write schedule JSON here")
     s.add_argument("--gantt", action="store_true", help="print ASCII Gantt")
-    s.add_argument(
-        "--algorithm",
-        default="jz",
-        choices=["jz", "ltw", "sequential", "full", "greedy"],
+    _add_strategy_options(s)
+
+    st = sub.add_parser(
+        "strategies", help="list registered pipeline strategies"
+    )
+    st.add_argument(
+        "--kind", choices=["allotment", "phase2"], default=None,
+        help="restrict to one stage kind",
     )
 
     t = sub.add_parser("tables", help="regenerate the paper's tables")
@@ -72,7 +126,10 @@ def build_parser() -> argparse.ArgumentParser:
     v.add_argument("schedule")
 
     b = sub.add_parser(
-        "batch", help="solve many instances on a process pool"
+        "batch",
+        help="solve many instances on a process pool",
+        epilog=_BATCH_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     b.add_argument(
         "instances", nargs="*", help="instance JSON files to solve"
@@ -94,67 +151,117 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("-m", "--processors", type=int, default=8)
     b.add_argument("--model", default="power")
     b.add_argument("--seed", type=int, default=0)
+    _add_strategy_options(b)
     return p
 
 
+def _build_pipeline(args: argparse.Namespace, command: str):
+    """Resolve --algorithm/--priority; returns a pipeline or None after
+    printing the registry-aware error (exit code 2 for the caller)."""
+    from .pipeline import SchedulingPipeline, UnknownStrategyError
+
+    try:
+        return SchedulingPipeline(args.algorithm, args.priority)
+    except UnknownStrategyError as exc:
+        print(f"{command}: {exc}", file=sys.stderr)
+        return None
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
-    from . import jz_schedule, render_gantt
+    from . import render_gantt
     from .workloads import make_instance
 
+    pipe = _build_pipeline(args, "demo")
+    if pipe is None:
+        return 2
     inst = make_instance(
         args.family, args.size, args.processors,
         model=args.model, seed=args.seed,
     )
-    res = jz_schedule(inst)
-    cert = res.certificate
+    try:
+        rep = pipe.solve(inst)
+    except Exception as exc:
+        print(
+            f"demo: {args.algorithm} failed on {inst.name}: {exc}",
+            file=sys.stderr,
+        )
+        return 1
     print(f"instance      : {inst!r}")
-    print(
-        f"parameters    : rho={cert.parameters.rho:g} "
-        f"mu={cert.parameters.mu} r(m)={cert.parameters.ratio:.4f}"
+    print(f"pipeline      : {rep.algorithm} × {rep.priority}")
+    if rep.rho is not None or rep.mu is not None:
+        rho = "-" if rep.rho is None else f"{rep.rho:g}"
+        print(f"parameters    : rho={rho} mu={rep.mu}")
+    print(f"lower bound   : {rep.lower_bound:.4f}")
+    print(f"makespan      : {rep.makespan:.4f}")
+    proven = (
+        f" (proven <= {rep.ratio_bound:.4f})"
+        if rep.ratio_bound is not None
+        else ""
     )
-    print(f"LP bound C*   : {cert.lower_bound:.4f}")
-    print(f"makespan      : {res.makespan:.4f}")
-    print(f"observed ratio: {res.observed_ratio:.4f} (proven <= "
-          f"{cert.ratio_bound:.4f})")
-    print(render_gantt(res.schedule))
+    print(f"observed ratio: {rep.observed_ratio:.4f}{proven}")
+    print(render_gantt(rep.schedule))
     return 0
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
-    from . import jz_schedule, render_gantt
-    from .baselines import (
-        full_allotment_schedule,
-        greedy_critical_path_schedule,
-        ltw_schedule,
-        sequential_allotment_schedule,
-    )
+    from . import render_gantt
     from .io import load_instance, save_schedule
 
-    inst = load_instance(args.instance)
-    if args.algorithm == "jz":
-        res = jz_schedule(inst)
-        sched = res.schedule
+    pipe = _build_pipeline(args, "solve")
+    if pipe is None:
+        return 2
+    try:
+        inst = load_instance(args.instance)
+    except Exception as exc:
+        # Covers unreadable files, malformed JSON and infeasible
+        # instances (e.g. a machine count below 1 or profiles that do
+        # not match m) with one clear diagnostic instead of a traceback.
         print(
-            f"makespan={res.makespan:.6g}  C*={res.certificate.lower_bound:.6g}"
-            f"  observed_ratio={res.observed_ratio:.4f}"
+            f"solve: cannot load instance {args.instance!r}: {exc}",
+            file=sys.stderr,
         )
-    elif args.algorithm == "ltw":
-        out = ltw_schedule(inst)
-        sched = out.schedule
-        print(f"makespan={out.makespan:.6g}  C*={out.lower_bound:.6g}")
-    else:
-        fn = {
-            "sequential": sequential_allotment_schedule,
-            "full": full_allotment_schedule,
-            "greedy": greedy_critical_path_schedule,
-        }[args.algorithm]
-        sched = fn(inst)
-        print(f"makespan={sched.makespan:.6g}")
+        return 2
+    try:
+        rep = pipe.solve(inst)
+    except Exception as exc:
+        # A loaded instance the chosen algorithm cannot handle (e.g.
+        # ltw needs m >= 2) or a solver failure: diagnostic, not a
+        # traceback.
+        print(
+            f"solve: {args.algorithm} failed on "
+            f"{args.instance!r}: {exc}",
+            file=sys.stderr,
+        )
+        return 1
+    proven = (
+        f"  proven<={rep.ratio_bound:.4f}"
+        if rep.ratio_bound is not None
+        else ""
+    )
+    print(
+        f"algorithm={rep.algorithm}  priority={rep.priority}\n"
+        f"makespan={rep.makespan:.6g}  lower_bound={rep.lower_bound:.6g}"
+        f"  observed_ratio={rep.observed_ratio:.4f}{proven}"
+    )
     if args.gantt:
-        print(render_gantt(sched))
+        print(render_gantt(rep.schedule))
     if args.output:
-        save_schedule(sched, args.output)
+        save_schedule(rep.schedule, args.output)
         print(f"schedule written to {args.output}")
+    return 0
+
+
+def _cmd_strategies(args: argparse.Namespace) -> int:
+    from .pipeline import list_strategies
+
+    flag = {"allotment": "--algorithm", "phase2": "--priority"}
+    for info in list_strategies(args.kind):
+        alias = (
+            f" (alias: {', '.join(info.aliases)})" if info.aliases else ""
+        )
+        print(f"{info.kind:<10} {flag[info.kind]:<12} {info.name}{alias}")
+        if info.summary:
+            print(f"{'':<10} {'':<12}   {info.summary}")
     return 0
 
 
@@ -230,8 +337,9 @@ class _Unloadable:
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
-    from .engine import jz_schedule_many, write_jsonl
+    from .engine import BatchRunner, write_jsonl
     from .io import load_instance
+    from .pipeline import UnknownStrategyError
 
     if args.generate and args.instances:
         print(
@@ -267,7 +375,16 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         )
         return 2
 
-    result = jz_schedule_many(instances, workers=args.workers)
+    runner = BatchRunner(
+        workers=args.workers,
+        algorithm=args.algorithm,
+        priority=args.priority,
+    )
+    try:
+        result = runner.run(instances)
+    except UnknownStrategyError as exc:
+        print(f"batch: {exc}", file=sys.stderr)
+        return 2
     if args.output:
         write_jsonl(result.records, args.output)
         print(f"records written to {args.output}", file=sys.stderr)
@@ -276,7 +393,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             print(json.dumps(rec.to_dict()))
     s = result.summary()
     print(
-        f"batch: {s['ok']}/{s['instances']} ok, {s['errors']} errors, "
+        f"batch[{args.algorithm}×{args.priority}]: "
+        f"{s['ok']}/{s['instances']} ok, {s['errors']} errors, "
         f"workers={s['workers']}, {s['wall_time']:.2f}s "
         f"({s['throughput']:.2f} inst/s)",
         file=sys.stderr,
@@ -297,6 +415,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handler = {
         "demo": _cmd_demo,
         "solve": _cmd_solve,
+        "strategies": _cmd_strategies,
         "tables": _cmd_tables,
         "params": _cmd_params,
         "generate": _cmd_generate,

@@ -9,6 +9,7 @@ from .parameters import (
     max_mu,
     mu_hat,
     ratio_bound,
+    resolve_parameters,
 )
 from .lp import (
     AllotmentLp,
@@ -24,7 +25,11 @@ from .rounding import (
     work_stretch_bound,
 )
 from .list_scheduler import capped_allotment, list_schedule
-from .list_variants import PRIORITY_RULES, list_schedule_with_priority
+from .list_variants import (
+    PRIORITY_RULES,
+    bottom_levels,
+    list_schedule_with_priority,
+)
 from .allotment_bsearch import (
     BsearchReport,
     DeadlineLpResult,
@@ -41,6 +46,7 @@ __all__ = [
     "BsearchReport",
     "DeadlineLpResult",
     "PRIORITY_RULES",
+    "bottom_levels",
     "bsearch_allotment",
     "deadline_work_lp",
     "list_schedule_with_priority",
@@ -62,6 +68,7 @@ __all__ = [
     "max_mu",
     "mu_hat",
     "ratio_bound",
+    "resolve_parameters",
     "round_fractional_times",
     "rounding_stretch_report",
     "solve_allotment_lp",

@@ -34,7 +34,9 @@ class Instance:
         Optional label for reports.
     """
 
-    __slots__ = ("_tasks", "_dag", "_m", "_name")
+    # __weakref__ lets per-instance caches (e.g. the bottom-level memo in
+    # repro.core.list_variants) key on the instance without pinning it.
+    __slots__ = ("_tasks", "_dag", "_m", "_name", "__weakref__")
 
     def __init__(
         self,

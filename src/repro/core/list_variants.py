@@ -23,13 +23,14 @@ carries the paper's worst-case guarantee.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+import weakref
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..schedule import ResourceTimeline, Schedule, ScheduledTask
 from .instance import Instance
 from .list_scheduler import capped_allotment, list_schedule
 
-__all__ = ["PRIORITY_RULES", "list_schedule_with_priority"]
+__all__ = ["PRIORITY_RULES", "bottom_levels", "list_schedule_with_priority"]
 
 PRIORITY_RULES = (
     "earliest-start",
@@ -40,7 +41,7 @@ PRIORITY_RULES = (
 )
 
 
-def _bottom_levels(
+def _compute_bottom_levels(
     instance: Instance, durations: Sequence[float]
 ) -> List[float]:
     """Longest remaining-path length starting at each task (inclusive)."""
@@ -50,6 +51,44 @@ def _bottom_levels(
         succ = max((level[s] for s in dag.successors(v)), default=0.0)
         level[v] = durations[v] + succ
     return level
+
+
+#: instance -> {durations -> levels}; weak keys so cached instances die
+#: with their last strong reference.
+_BOTTOM_LEVEL_CACHE: "weakref.WeakKeyDictionary[Instance, Dict[Tuple[float, ...], Tuple[float, ...]]]" = (  # noqa: E501
+    weakref.WeakKeyDictionary()
+)
+#: Distinct duration vectors memoized per instance.  The pipeline asks
+#: for a handful of allotments per instance (one per strategy), so a
+#: small cap bounds memory while keeping every realistic reuse a hit.
+_BOTTOM_LEVEL_CACHE_MAX = 32
+
+
+def bottom_levels(
+    instance: Instance, durations: Sequence[float]
+) -> Tuple[float, ...]:
+    """Bottom levels under ``durations``, memoized per instance.
+
+    The levels are pure in ``(instance, durations)`` and every
+    critical-path-priority schedule of the same capped allotment needs
+    the same vector, so results are cached on the instance (weakly) and
+    keyed by the duration tuple.
+    """
+    key = tuple(durations)
+    try:
+        per_instance = _BOTTOM_LEVEL_CACHE.get(instance)
+    except TypeError:  # un-weakref-able instance-like stand-in
+        return tuple(_compute_bottom_levels(instance, key))
+    if per_instance is None:
+        per_instance = {}
+        _BOTTOM_LEVEL_CACHE[instance] = per_instance
+    levels = per_instance.get(key)
+    if levels is None:
+        if len(per_instance) >= _BOTTOM_LEVEL_CACHE_MAX:
+            per_instance.clear()
+        levels = tuple(_compute_bottom_levels(instance, key))
+        per_instance[key] = levels
+    return levels
 
 
 def list_schedule_with_priority(
@@ -77,7 +116,7 @@ def list_schedule_with_priority(
     ]
 
     if priority == "critical-path":
-        levels = _bottom_levels(instance, durations)
+        levels = bottom_levels(instance, durations)
 
         def rank(j: int) -> tuple:
             return (-levels[j], j)

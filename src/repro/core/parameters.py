@@ -23,12 +23,14 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from functools import lru_cache
+from typing import Optional
 
 __all__ = [
     "RHO_STAR_PAPER",
     "mu_hat",
     "ratio_bound",
     "jz_parameters",
+    "resolve_parameters",
     "JZParameters",
     "max_mu",
 ]
@@ -139,3 +141,30 @@ def jz_parameters(m: int) -> JZParameters:
     )
     best = min(candidates, key=lambda mu: ratio_bound(m, mu, rho))
     return JZParameters(m=m, rho=rho, mu=best, ratio=ratio_bound(m, best, rho))
+
+
+def resolve_parameters(
+    m: int, rho: Optional[float] = None, mu: Optional[int] = None
+) -> JZParameters:
+    """Theorem 4.1 parameters with optional overrides (ablation sweeps).
+
+    With both overrides ``None`` this is exactly :func:`jz_parameters`.
+    An override replaces the paper's value after range validation; the
+    ratio bound is recomputed at the overridden point, reporting ``inf``
+    when ``(μ, ρ)`` falls outside the domain of program (17) (``μ`` past
+    ``⌊(m+1)/2⌋``), where no bound is proven.
+    """
+    params = jz_parameters(m)
+    if rho is None and mu is None:
+        return params
+    use_rho = params.rho if rho is None else float(rho)
+    use_mu = params.mu if mu is None else int(mu)
+    if not (0.0 <= use_rho <= 1.0):
+        raise ValueError(f"rho must be in [0, 1], got {use_rho}")
+    if not (1 <= use_mu <= m):
+        raise ValueError(f"mu must be in [1, {m}], got {use_mu}")
+    try:
+        bound = ratio_bound(m, use_mu, use_rho)
+    except ValueError:
+        bound = float("inf")
+    return JZParameters(m=m, rho=use_rho, mu=use_mu, ratio=bound)

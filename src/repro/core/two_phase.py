@@ -27,7 +27,7 @@ from ..schedule import Schedule, slot_classes
 from .instance import Instance
 from .lp import AllotmentLpResult, solve_allotment_lp
 from .list_scheduler import capped_allotment, list_schedule
-from .parameters import JZParameters, jz_parameters, ratio_bound
+from .parameters import JZParameters, resolve_parameters
 from .rounding import RoundingReport, rounding_stretch_report
 
 __all__ = ["JZCertificate", "JZResult", "jz_schedule"]
@@ -107,22 +107,7 @@ def jz_schedule(
         certificate additionally exposes the stronger *measured* bound
         ``makespan / C*``.
     """
-    params = jz_parameters(instance.m)
-    if rho is not None or mu is not None:
-        use_rho = params.rho if rho is None else float(rho)
-        use_mu = params.mu if mu is None else int(mu)
-        if not (0.0 <= use_rho <= 1.0):
-            raise ValueError(f"rho must be in [0, 1], got {use_rho}")
-        if not (1 <= use_mu <= instance.m):
-            raise ValueError(f"mu must be in [1, {instance.m}], got {use_mu}")
-        # Ratio bound formula needs mu <= (m+1)/2; report inf outside it.
-        try:
-            bound = ratio_bound(instance.m, use_mu, use_rho)
-        except ValueError:
-            bound = float("inf")
-        params = JZParameters(
-            m=instance.m, rho=use_rho, mu=use_mu, ratio=bound
-        )
+    params = resolve_parameters(instance.m, rho=rho, mu=mu)
 
     # Phase 1: LP (9) + critical-point rounding.
     lp_result = solve_allotment_lp(instance, backend=lp_backend)

@@ -1,32 +1,38 @@
-"""Batch scheduling engine: parallel fan-out of the two-phase algorithm.
+"""Batch scheduling engine: parallel fan-out of any registered pipeline.
 
-High-throughput front end over :func:`repro.jz_schedule`::
+High-throughput front end over :mod:`repro.pipeline`::
 
-    from repro.engine import jz_schedule_many
+    from repro.engine import solve_many
 
-    result = jz_schedule_many(instances, workers=4)
+    result = solve_many(instances, algorithm="ltw", workers=4)
     result.throughput              # solved instances / second
-    result.records[0].makespan     # bit-identical to jz_schedule(...)
+    result.records[0].makespan     # bit-identical to a sequential solve
     result.errors()                # isolated per-instance failures
 
-See :mod:`repro.engine.batch` for the runner, record types and the
-JSON-lines export the ``python -m repro batch`` subcommand uses.
+``jz_schedule_many`` remains the JZ-pinned convenience wrapper.  See
+:mod:`repro.engine.batch` for the runner, record types and the
+schema-versioned JSON-lines export the ``python -m repro batch``
+subcommand uses.
 """
 
 from .batch import (
+    SCHEMA_VERSION,
     BatchRecord,
     BatchResult,
     BatchRunner,
     jz_schedule_many,
     read_jsonl,
+    solve_many,
     write_jsonl,
 )
 
 __all__ = [
+    "SCHEMA_VERSION",
     "BatchRecord",
     "BatchResult",
     "BatchRunner",
     "jz_schedule_many",
     "read_jsonl",
+    "solve_many",
     "write_jsonl",
 ]

@@ -1,23 +1,27 @@
-"""Parallel batch execution of the two-phase algorithm.
+"""Parallel batch execution of any registered scheduling pipeline.
 
 The sequential API solves one instance per call; serving benchmark sweeps
 and bulk workloads wants a *batch* entry point that fans a list of
 instances out across a process pool and collects per-instance results
 without letting one bad instance poison the run.  This module provides:
 
-* :func:`jz_schedule_many` / :class:`BatchRunner` — fan-out over a
+* :func:`solve_many` / :class:`BatchRunner` — fan-out over a
   ``concurrent.futures.ProcessPoolExecutor`` (or fully in-process when
-  ``workers <= 1``), preserving input order;
-* :class:`BatchRecord` — one instance's outcome: either the certificate
-  numbers of a successful run (makespan, LP bound ``C*``, proven r(m),
-  observed ratio, parameters) or an isolated failure with its traceback;
-* JSON-lines export (:func:`write_jsonl` / :func:`read_jsonl`) consumed by
-  ``python -m repro batch``.
+  ``workers <= 1``), preserving input order, for **any** registered
+  strategy combination (:mod:`repro.pipeline`); :func:`jz_schedule_many`
+  is the JZ-pinned convenience wrapper;
+* :class:`BatchRecord` — one instance's outcome: either the report
+  numbers of a successful run (makespan, certified lower bound, proven
+  ratio bound, observed ratio, strategy names and parameters) or an
+  isolated failure with its traceback;
+* versioned JSON-lines export (:func:`write_jsonl` / :func:`read_jsonl`)
+  consumed by ``python -m repro batch``.
 
-Determinism: every record is computed by the same code path as a direct
-:func:`repro.jz_schedule` call on that instance, and records are keyed by
-input position — so makespans and certificate bounds are bit-identical to
-the sequential path for *any* worker count (asserted in the test suite).
+Determinism: every record is computed by the same
+:class:`repro.pipeline.SchedulingPipeline` code path as a direct solve
+of that instance, and records are keyed by input position — so makespans
+and certificate bounds are bit-identical to the sequential path for
+*any* worker count (asserted in the test suite).
 """
 
 from __future__ import annotations
@@ -26,30 +30,39 @@ import json
 import os
 import time
 import traceback
+import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
 
 from ..core.instance import Instance
 
 __all__ = [
+    "SCHEMA_VERSION",
     "BatchRecord",
     "BatchResult",
     "BatchRunner",
     "jz_schedule_many",
     "read_jsonl",
+    "solve_many",
     "write_jsonl",
 ]
 
 _PathLike = Union[str, Path]
+
+#: JSONL record schema version.  History:
+#: 1 — PR 1: JZ-only records, no version field (absence == version 1);
+#: 2 — pipeline records: adds ``schema_version``, ``algorithm``,
+#:     ``priority``.
+SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
 class BatchRecord:
     """Outcome of one instance in a batch.
 
-    ``status`` is ``"ok"`` or ``"error"``.  On success the certificate
+    ``status`` is ``"ok"`` or ``"error"``.  On success the report
     numbers are filled in; on failure ``error`` holds the formatted
     traceback and the numeric fields are ``None``.  ``index`` is the
     instance's position in the submitted batch.
@@ -60,6 +73,8 @@ class BatchRecord:
     name: Optional[str] = None
     n_tasks: Optional[int] = None
     m: Optional[int] = None
+    algorithm: Optional[str] = None
+    priority: Optional[str] = None
     makespan: Optional[float] = None
     lower_bound: Optional[float] = None
     ratio_bound: Optional[float] = None
@@ -75,8 +90,8 @@ class BatchRecord:
         return self.status == "ok"
 
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-compatible dict (one JSONL line)."""
-        return asdict(self)
+        """JSON-compatible dict (one JSONL line), schema-versioned."""
+        return {"schema_version": SCHEMA_VERSION, **asdict(self)}
 
 
 @dataclass(frozen=True)
@@ -125,27 +140,31 @@ def _solve_one(payload) -> Dict[str, Any]:
     Returns a plain dict (cheap to pickle back) that :class:`BatchRunner`
     turns into a :class:`BatchRecord`.
     """
-    index, instance, rho, mu, lp_backend = payload
+    index, instance, algorithm, priority, rho, mu, lp_backend = payload
     t0 = time.perf_counter()
     # Exception (not BaseException): KeyboardInterrupt/SystemExit must
     # propagate so in-process batch runs stay interruptible.
     try:
-        from ..core.two_phase import jz_schedule
+        from ..pipeline import SchedulingPipeline
 
-        res = jz_schedule(instance, rho=rho, mu=mu, lp_backend=lp_backend)
-        cert = res.certificate
+        pipe = SchedulingPipeline(
+            algorithm, priority, rho=rho, mu=mu, lp_backend=lp_backend
+        )
+        rep = pipe.solve(instance)
         return {
             "index": index,
             "status": "ok",
             "name": instance.name,
             "n_tasks": instance.n_tasks,
             "m": instance.m,
-            "makespan": res.makespan,
-            "lower_bound": cert.lower_bound,
-            "ratio_bound": cert.ratio_bound,
-            "observed_ratio": res.observed_ratio,
-            "rho": cert.parameters.rho,
-            "mu": cert.parameters.mu,
+            "algorithm": rep.algorithm,
+            "priority": rep.priority,
+            "makespan": rep.makespan,
+            "lower_bound": rep.lower_bound,
+            "ratio_bound": rep.ratio_bound,
+            "observed_ratio": rep.observed_ratio,
+            "rho": rep.rho,
+            "mu": rep.mu,
             "wall_time": time.perf_counter() - t0,
         }
     except Exception:
@@ -155,6 +174,8 @@ def _solve_one(payload) -> Dict[str, Any]:
             "name": _safe_attr(instance, "name"),
             "n_tasks": _safe_attr(instance, "n_tasks"),
             "m": _safe_attr(instance, "m"),
+            "algorithm": algorithm,
+            "priority": priority,
             "wall_time": time.perf_counter() - t0,
             "error": traceback.format_exc(),
         }
@@ -189,18 +210,28 @@ def _safe_attr(obj, attr):
 
 @dataclass
 class BatchRunner:
-    """Reusable batch executor.
+    """Reusable batch executor over any registered pipeline.
 
     Parameters
     ----------
     workers:
         Process count; ``None`` means ``os.cpu_count()``.  ``0`` or ``1``
         solves in-process (no pool) — same records, no pickling.
+    algorithm, priority:
+        Registered strategy names (see
+        :func:`repro.pipeline.list_strategies`); validated before any
+        instance is solved.  Defaults reproduce the JZ pipeline.
+        The registry is process-local: built-ins are always visible to
+        pool workers, but strategies registered at runtime by user code
+        reach workers only when the pool inherits the parent's modules
+        (the fork start method, the Linux default).  On spawn platforms
+        (macOS/Windows) run custom strategies with ``workers <= 1``, or
+        register them in a module the workers import.
     rho, mu:
-        Optional parameter overrides forwarded to every
-        :func:`repro.jz_schedule` call (ablation sweeps).
+        Optional parameter overrides forwarded to the allotment stage
+        (ablation sweeps).
     lp_backend:
-        LP backend forwarded to phase 1.
+        LP backend forwarded to LP-based allotment stages.
     max_pending:
         Cap on in-flight futures; bounds memory on huge batches.
     use_pool:
@@ -210,6 +241,8 @@ class BatchRunner:
     """
 
     workers: Optional[int] = None
+    algorithm: str = "jz"
+    priority: str = "earliest-start"
     rho: Optional[float] = None
     mu: Optional[int] = None
     lp_backend: str = "auto"
@@ -227,7 +260,9 @@ class BatchRunner:
     def run(self, instances: Sequence[Instance]) -> BatchResult:
         """Solve every instance; returns records in input order.
 
-        A failing instance (bad profile, solver error, unpicklable object,
+        Unknown strategy names raise
+        :class:`repro.pipeline.UnknownStrategyError` up front.  A
+        failing instance (bad profile, solver error, unpicklable object,
         even a crashed worker process) yields an ``"error"`` record and
         never crashes the run or loses other records.  Exceptions raised
         *inside* a solve are fully isolated; a worker process that dies
@@ -236,11 +271,19 @@ class BatchRunner:
         retried in the parent (a crash-inducing instance must not get a
         second chance there).
         """
+        from ..pipeline import get_allotment, get_phase2
+
+        # Fail fast on typos — and pin the canonical names into the
+        # payloads so records agree across aliases.
+        algorithm = get_allotment(self.algorithm).name
+        priority = get_phase2(self.priority).name
+
         instances = list(instances)
         workers = self.resolved_workers()
         t0 = time.perf_counter()
         payloads = [
-            (i, inst, self.rho, self.mu, self.lp_backend)
+            (i, inst, algorithm, priority, self.rho, self.mu,
+             self.lp_backend)
             for i, inst in enumerate(instances)
         ]
         pooled = (
@@ -295,6 +338,32 @@ class BatchRunner:
         return raw
 
 
+def solve_many(
+    instances: Sequence[Instance],
+    algorithm: str = "jz",
+    priority: str = "earliest-start",
+    workers: Optional[int] = None,
+    rho: Optional[float] = None,
+    mu: Optional[int] = None,
+    lp_backend: str = "auto",
+) -> BatchResult:
+    """Solve a batch of instances with any registered strategy pair.
+
+    Thin convenience wrapper over :class:`BatchRunner`; see its docs.
+    Records are bit-identical to solving each instance sequentially
+    through :class:`repro.pipeline.SchedulingPipeline`, for any
+    ``workers`` value.
+    """
+    return BatchRunner(
+        workers=workers,
+        algorithm=algorithm,
+        priority=priority,
+        rho=rho,
+        mu=mu,
+        lp_backend=lp_backend,
+    ).run(instances)
+
+
 def jz_schedule_many(
     instances: Sequence[Instance],
     workers: Optional[int] = None,
@@ -302,20 +371,21 @@ def jz_schedule_many(
     mu: Optional[int] = None,
     lp_backend: str = "auto",
 ) -> BatchResult:
-    """Solve a batch of instances on a process pool.
+    """Solve a batch with the paper's JZ pipeline (pre-pipeline API).
 
-    Thin convenience wrapper over :class:`BatchRunner`; see its docs.
-    Makespans and certificate bounds are bit-identical to calling
+    Equivalent to :func:`solve_many` with the default strategies;
+    makespans and certificate bounds are bit-identical to calling
     :func:`repro.jz_schedule` on each instance sequentially, for any
     ``workers`` value.
     """
-    return BatchRunner(
-        workers=workers, rho=rho, mu=mu, lp_backend=lp_backend
-    ).run(instances)
+    return solve_many(
+        instances, workers=workers, rho=rho, mu=mu, lp_backend=lp_backend
+    )
 
 
 def write_jsonl(records: Iterable[BatchRecord], path: _PathLike) -> int:
-    """Write records as JSON lines; returns the number written."""
+    """Write records as schema-versioned JSON lines; returns the number
+    written."""
     n = 0
     with open(path, "w") as fh:
         for rec in records:
@@ -324,10 +394,65 @@ def write_jsonl(records: Iterable[BatchRecord], path: _PathLike) -> int:
     return n
 
 
-def read_jsonl(path: _PathLike) -> List[BatchRecord]:
-    """Read records back from a JSON-lines file."""
+_RECORD_FIELDS = frozenset(f.name for f in fields(BatchRecord))
+_REQUIRED_FIELDS = ("index", "status")
+
+
+def read_jsonl(
+    path: _PathLike, *, on_unknown_version: str = "error"
+) -> List[BatchRecord]:
+    """Read records back from a JSON-lines file.
+
+    Lines carry a ``schema_version`` field (records from PR 1 predate it
+    and are read as version 1).  A line whose version this build does
+    not know is **never** silently coerced into a partial record:
+
+    * ``on_unknown_version="error"`` (default) — raise :class:`ValueError`
+      naming the file, line and version;
+    * ``on_unknown_version="skip"`` — drop the line with a
+      :class:`UserWarning` and keep reading.
+
+    Unknown *fields* on a known version are ignored (a newer minor
+    writer may add columns); missing fields fall back to the record
+    defaults, except ``index``/``status`` which are mandatory.
+    """
+    if on_unknown_version not in ("error", "skip"):
+        raise ValueError(
+            "on_unknown_version must be 'error' or 'skip', "
+            f"got {on_unknown_version!r}"
+        )
     out: List[BatchRecord] = []
-    for line in Path(path).read_text().splitlines():
-        if line.strip():
-            out.append(BatchRecord(**json.loads(line)))
+    for lineno, line in enumerate(
+        Path(path).read_text().splitlines(), start=1
+    ):
+        if not line.strip():
+            continue
+        data = json.loads(line)
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"{path}:{lineno}: expected a JSON object, "
+                f"got {type(data).__name__}"
+            )
+        version = data.pop("schema_version", 1)
+        if version not in (1, SCHEMA_VERSION):
+            msg = (
+                f"{path}:{lineno}: unknown batch-record schema_version "
+                f"{version!r} (this build reads versions 1"
+                f"..{SCHEMA_VERSION})"
+            )
+            if on_unknown_version == "skip":
+                warnings.warn(msg, stacklevel=2)
+                continue
+            raise ValueError(msg)
+        missing = [k for k in _REQUIRED_FIELDS if k not in data]
+        if missing:
+            raise ValueError(
+                f"{path}:{lineno}: record is missing required "
+                f"field(s) {missing}"
+            )
+        out.append(
+            BatchRecord(
+                **{k: v for k, v in data.items() if k in _RECORD_FIELDS}
+            )
+        )
     return out

@@ -1,0 +1,119 @@
+"""Thin adapters: legacy result dataclasses → :class:`SolveReport`.
+
+Before the pipeline, each solver family returned its own result type —
+``JZResult`` (schedule + certificate), ``LTWResult`` (schedule + LP
+accounting) and ``BsearchReport`` (allotment + search trace, no
+schedule).  These adapters lift each of them into the unified report so
+code that still produces the legacy types (or holds archived ones) can
+feed every pipeline-aware consumer.  They copy fields only — no solver
+is re-run — which is what keeps adapted numbers bit-identical to the
+originals.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..baselines.ltw import LTWResult
+from ..core.allotment_bsearch import BsearchReport
+from ..core.instance import Instance
+from ..core.two_phase import JZResult
+from ..schedule import Schedule
+from .base import SolveReport
+
+__all__ = [
+    "report_from_bsearch",
+    "report_from_jz",
+    "report_from_ltw",
+]
+
+
+def report_from_jz(
+    result: JZResult,
+    *,
+    allotment_time: float = 0.0,
+    schedule_time: float = 0.0,
+) -> SolveReport:
+    """Lift a :class:`~repro.core.two_phase.JZResult`.
+
+    Wall times are not recorded on the legacy type; pass them if known.
+    """
+    cert = result.certificate
+    return SolveReport(
+        schedule=result.schedule,
+        algorithm="jz",
+        priority="earliest-start",
+        allotment=tuple(cert.allotment_phase1),
+        mu=cert.parameters.mu,
+        rho=cert.parameters.rho,
+        lower_bound=cert.lower_bound,
+        ratio_bound=cert.ratio_bound,
+        allotment_time=allotment_time,
+        schedule_time=schedule_time,
+        metadata={
+            "parameters": cert.parameters,
+            "lp": cert.lp,
+            "rounding": cert.rounding,
+            "certificate": cert,
+        },
+    )
+
+
+def report_from_ltw(
+    result: LTWResult,
+    *,
+    allotment_time: float = 0.0,
+    schedule_time: float = 0.0,
+) -> SolveReport:
+    """Lift a :class:`~repro.baselines.ltw.LTWResult`."""
+    from ..baselines.ltw import LTW_RHO
+
+    return SolveReport(
+        schedule=result.schedule,
+        algorithm="ltw",
+        priority="earliest-start",
+        allotment=tuple(result.allotment_phase1),
+        mu=result.mu,
+        rho=LTW_RHO,
+        lower_bound=result.lower_bound,
+        ratio_bound=result.ratio_bound,
+        allotment_time=allotment_time,
+        schedule_time=schedule_time,
+        metadata={"lp": result.lp},
+    )
+
+
+def report_from_bsearch(
+    instance: Instance,
+    report: BsearchReport,
+    schedule: Schedule,
+    *,
+    mu: Optional[int] = None,
+    rho: Optional[float] = None,
+    allotment_time: float = 0.0,
+    schedule_time: float = 0.0,
+) -> SolveReport:
+    """Lift a :class:`~repro.core.allotment_bsearch.BsearchReport`.
+
+    The legacy report stops at the allotment, so the caller supplies the
+    schedule it built from it (plus the cap/ρ it used, if any).  The
+    lower bound is the instance's combinatorial bound — the search
+    objective is an estimate, not a certificate.
+    """
+    return SolveReport(
+        schedule=schedule,
+        algorithm="bsearch",
+        priority="earliest-start",
+        allotment=tuple(report.allotment),
+        mu=mu,
+        rho=rho,
+        lower_bound=instance.trivial_lower_bound(),
+        ratio_bound=None,
+        allotment_time=allotment_time,
+        schedule_time=schedule_time,
+        metadata={
+            "deadline": report.deadline,
+            "objective": report.objective,
+            "lp_solves": report.lp_solves,
+        },
+    )

@@ -94,6 +94,45 @@ class TestCommands:
         )
         assert "makespan=" in capsys.readouterr().out
 
+    def test_solve_with_priority(self, tmp_path, capsys):
+        inst_path = tmp_path / "inst.json"
+        main(
+            ["generate", "--family", "layered", "--size", "10", "-m", "4",
+             "--seed", "5", "-o", str(inst_path)]
+        )
+        capsys.readouterr()
+        rc = main(
+            ["solve", str(inst_path), "--algorithm", "jz",
+             "--priority", "critical-path"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "priority=critical-path" in out
+        assert "makespan=" in out
+
+    def test_demo_with_algorithm(self, capsys):
+        rc = main(
+            ["demo", "--size", "8", "-m", "4", "--seed", "2",
+             "--algorithm", "greedy-critical-path", "--priority", "fifo"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "greedy-critical-path × fifo" in out
+        assert "makespan" in out
+
+    def test_strategies_lists_registry(self, capsys):
+        assert main(["strategies"]) == 0
+        out = capsys.readouterr().out
+        for name in ("jz", "ltw", "bsearch", "earliest-start", "fifo"):
+            assert name in out
+        assert "alias: greedy" in out
+
+    def test_strategies_kind_filter(self, capsys):
+        assert main(["strategies", "--kind", "phase2"]) == 0
+        out = capsys.readouterr().out
+        assert "earliest-start" in out
+        assert "--algorithm" not in out
+
     def test_validate_rejects_tampered_schedule(self, tmp_path, capsys):
         inst_path = tmp_path / "inst.json"
         sched_path = tmp_path / "sched.json"
@@ -110,3 +149,89 @@ class TestCommands:
         capsys.readouterr()
         assert main(["validate", str(inst_path), str(sched_path)]) == 1
         assert "INFEASIBLE" in capsys.readouterr().out
+
+
+class TestSolveErrorPaths:
+    """`solve` must exit non-zero with a diagnostic, never a traceback."""
+
+    def _instance_file(self, tmp_path, capsys):
+        p = tmp_path / "inst.json"
+        main(
+            ["generate", "--family", "diamond", "--size", "6", "-m", "4",
+             "--seed", "0", "-o", str(p)]
+        )
+        capsys.readouterr()
+        return p
+
+    def test_unknown_algorithm(self, tmp_path, capsys):
+        p = self._instance_file(tmp_path, capsys)
+        rc = main(["solve", str(p), "--algorithm", "quantum-annealing"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "unknown allotment strategy 'quantum-annealing'" in err
+        assert "jz" in err  # lists registered strategies
+
+    def test_unknown_priority(self, tmp_path, capsys):
+        p = self._instance_file(tmp_path, capsys)
+        rc = main(["solve", str(p), "--priority", "random"])
+        assert rc == 2
+        assert "unknown phase2 strategy 'random'" in capsys.readouterr().err
+
+    def test_infeasible_machine_count(self, tmp_path, capsys):
+        import json as _json
+
+        p = self._instance_file(tmp_path, capsys)
+        data = _json.loads(p.read_text())
+        data["m"] = 0
+        p.write_text(_json.dumps(data))
+        rc = main(["solve", str(p)])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "cannot load instance" in err
+        assert "m must be >= 1" in err
+
+    def test_machine_count_profile_mismatch(self, tmp_path, capsys):
+        import json as _json
+
+        p = self._instance_file(tmp_path, capsys)
+        data = _json.loads(p.read_text())
+        data["m"] = 2  # profiles still cover 4 processors
+        p.write_text(_json.dumps(data))
+        rc = main(["solve", str(p)])
+        assert rc == 2
+        assert "cannot load instance" in capsys.readouterr().err
+
+    def test_missing_file(self, capsys):
+        rc = main(["solve", "/no/such/file.json"])
+        assert rc == 2
+        assert "cannot load instance" in capsys.readouterr().err
+
+    def test_malformed_json(self, tmp_path, capsys):
+        p = tmp_path / "broken.json"
+        p.write_text("{not json")
+        rc = main(["solve", str(p)])
+        assert rc == 2
+        assert "cannot load instance" in capsys.readouterr().err
+
+    def test_algorithm_that_rejects_instance(self, tmp_path, capsys):
+        # ltw requires m >= 2; a valid m=1 instance must yield a
+        # diagnostic and exit 1, not a traceback.
+        p = tmp_path / "m1.json"
+        main(
+            ["generate", "--family", "chain", "--size", "3", "-m", "1",
+             "-o", str(p)]
+        )
+        capsys.readouterr()
+        rc = main(["solve", str(p), "--algorithm", "ltw"])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "ltw failed on" in err
+        assert "m must be >= 2" in err
+
+    def test_demo_algorithm_failure_is_diagnosed(self, capsys):
+        rc = main(
+            ["demo", "--family", "chain", "--size", "3", "-m", "1",
+             "--algorithm", "ltw"]
+        )
+        assert rc == 1
+        assert "ltw failed on" in capsys.readouterr().err

@@ -4,8 +4,14 @@ import json
 
 import pytest
 
-from repro import jz_schedule, jz_schedule_many
-from repro.engine import BatchRunner, read_jsonl, write_jsonl
+from repro import jz_schedule, jz_schedule_many, solve_many
+from repro.engine import (
+    SCHEMA_VERSION,
+    BatchRunner,
+    read_jsonl,
+    write_jsonl,
+)
+from repro.pipeline import UnknownStrategyError, solve
 from repro.workloads import make_instance
 
 
@@ -81,6 +87,50 @@ class TestEmptyBatch:
             BatchRunner(workers=-1).run([])
 
 
+class TestStrategySelection:
+    def test_solve_many_any_algorithm(self):
+        instances = _instances(3)
+        for algorithm in ("ltw", "sequential", "greedy-critical-path"):
+            res = solve_many(instances, algorithm=algorithm, workers=0)
+            assert res.n_errors == 0
+            for rec, inst in zip(res.records, instances):
+                assert rec.algorithm == algorithm
+                assert rec.priority == "earliest-start"
+                ref = solve(inst, algorithm)
+                assert rec.makespan == ref.makespan
+                assert rec.lower_bound == ref.lower_bound
+
+    def test_priority_forwarded(self):
+        instances = _instances(2)
+        res = solve_many(
+            instances, algorithm="jz", priority="critical-path", workers=0
+        )
+        assert res.n_errors == 0
+        for rec, inst in zip(res.records, instances):
+            assert rec.priority == "critical-path"
+            assert rec.makespan == solve(
+                inst, "jz", "critical-path"
+            ).makespan
+
+    def test_alias_canonicalized_in_records(self):
+        res = solve_many(_instances(1), algorithm="greedy", workers=0)
+        assert res.records[0].algorithm == "greedy-critical-path"
+
+    def test_unknown_strategy_fails_fast(self):
+        with pytest.raises(UnknownStrategyError):
+            solve_many(_instances(1), algorithm="nope", workers=0)
+        with pytest.raises(UnknownStrategyError):
+            solve_many(_instances(1), priority="nope", workers=0)
+
+    def test_jz_records_match_jz_schedule_many(self):
+        instances = _instances(2)
+        a = jz_schedule_many(instances, workers=0)
+        b = solve_many(instances, workers=0)
+        assert [r.makespan for r in a.records] == [
+            r.makespan for r in b.records
+        ]
+
+
 class TestJsonl:
     def test_roundtrip(self, tmp_path):
         res = jz_schedule_many(_instances(2) + [None], workers=0)
@@ -90,10 +140,89 @@ class TestJsonl:
         back = read_jsonl(path)
         assert [r.index for r in back] == [0, 1, 2]
         assert back[0].makespan == res.records[0].makespan
+        assert back[0].algorithm == "jz"
         assert back[2].status == "error"
         # Every line is standalone JSON.
         lines = path.read_text().splitlines()
         assert all(json.loads(line)["status"] for line in lines)
+
+    def test_every_line_carries_schema_version(self, tmp_path):
+        res = jz_schedule_many(_instances(1), workers=0)
+        path = tmp_path / "records.jsonl"
+        write_jsonl(res.records, path)
+        for line in path.read_text().splitlines():
+            assert json.loads(line)["schema_version"] == SCHEMA_VERSION
+
+    def test_legacy_unversioned_line_still_reads(self, tmp_path):
+        # A PR-1 era record: no schema_version, no algorithm/priority.
+        path = tmp_path / "legacy.jsonl"
+        path.write_text(
+            json.dumps(
+                {"index": 0, "status": "ok", "makespan": 4.2, "m": 4}
+            )
+            + "\n"
+        )
+        (rec,) = read_jsonl(path)
+        assert rec.makespan == 4.2
+        assert rec.algorithm is None and rec.priority is None
+
+    def test_unknown_version_raises_by_default(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        path.write_text(
+            json.dumps(
+                {"schema_version": 99, "index": 0, "status": "ok"}
+            )
+            + "\n"
+        )
+        with pytest.raises(ValueError, match="schema_version 99"):
+            read_jsonl(path)
+
+    def test_unknown_version_skippable_with_warning(self, tmp_path):
+        path = tmp_path / "mixed.jsonl"
+        path.write_text(
+            json.dumps({"schema_version": 99, "index": 0, "status": "ok"})
+            + "\n"
+            + json.dumps({"schema_version": 2, "index": 1, "status": "ok"})
+            + "\n"
+        )
+        with pytest.warns(UserWarning, match="schema_version 99"):
+            records = read_jsonl(path, on_unknown_version="skip")
+        assert [r.index for r in records] == [1]
+
+    def test_bad_on_unknown_version_mode_rejected(self, tmp_path):
+        path = tmp_path / "x.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="on_unknown_version"):
+            read_jsonl(path, on_unknown_version="explode")
+
+    def test_unknown_fields_tolerated_on_known_version(self, tmp_path):
+        path = tmp_path / "wide.jsonl"
+        path.write_text(
+            json.dumps(
+                {
+                    "schema_version": 2,
+                    "index": 0,
+                    "status": "ok",
+                    "makespan": 1.0,
+                    "some_future_column": "ignored",
+                }
+            )
+            + "\n"
+        )
+        (rec,) = read_jsonl(path)
+        assert rec.makespan == 1.0
+
+    def test_missing_required_fields_rejected(self, tmp_path):
+        path = tmp_path / "partial.jsonl"
+        path.write_text(json.dumps({"makespan": 1.0}) + "\n")
+        with pytest.raises(ValueError, match="required"):
+            read_jsonl(path)
+
+    def test_non_object_line_rejected(self, tmp_path):
+        path = tmp_path / "arr.jsonl"
+        path.write_text("[1, 2, 3]\n")
+        with pytest.raises(ValueError, match="JSON object"):
+            read_jsonl(path)
 
 
 class TestCliBatch:
@@ -153,3 +282,34 @@ class TestCliBatch:
         records = read_jsonl(out)
         assert [r.status for r in records] == ["error", "ok"]
         assert "cannot load" in capsys.readouterr().err
+
+    def test_algorithm_and_priority_flags(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "res.jsonl"
+        rc = main(
+            [
+                "batch", "--generate", "layered", "--count", "2",
+                "--size", "8", "-m", "4", "-w", "0",
+                "--algorithm", "ltw", "--priority", "fifo",
+                "-o", str(out),
+            ]
+        )
+        assert rc == 0
+        records = read_jsonl(out)
+        assert all(r.ok for r in records)
+        assert all(r.algorithm == "ltw" for r in records)
+        assert all(r.priority == "fifo" for r in records)
+        assert "ltw×fifo" in capsys.readouterr().err
+
+    def test_unknown_algorithm_exits_2(self, capsys):
+        from repro.cli import main
+
+        rc = main(
+            ["batch", "--generate", "layered", "--count", "1",
+             "-w", "0", "--algorithm", "wat"]
+        )
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "unknown allotment strategy 'wat'" in err
+        assert "jz" in err  # the message lists what is registered
