@@ -50,6 +50,18 @@ examples:
 """
 
 
+def _workers_arg(value: str):
+    """``--workers`` parser: an integer, or 'auto' for the cpu count."""
+    if value.strip().lower() == "auto":
+        return None
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"workers must be an integer or 'auto', got {value!r}"
+        ) from None
+
+
 def _add_strategy_options(sub: argparse.ArgumentParser) -> None:
     """--algorithm / --priority, shared by demo, solve and batch.
 
@@ -135,8 +147,18 @@ def build_parser() -> argparse.ArgumentParser:
         "instances", nargs="*", help="instance JSON files to solve"
     )
     b.add_argument(
-        "-w", "--workers", type=int, default=None,
-        help="process count (default: cpu count; 0/1 = in-process)",
+        "-w", "--workers", type=_workers_arg, default=None,
+        help=(
+            "process count, or 'auto' for the machine's cpu count "
+            "(default: auto; 0/1 = in-process)"
+        ),
+    )
+    b.add_argument(
+        "--chunksize", type=int, default=None,
+        help=(
+            "instances per pool task (default: auto-sized so chunk "
+            "overhead amortizes across solves)"
+        ),
     )
     b.add_argument(
         "-o", "--output", help="write JSON-lines records here"
@@ -379,6 +401,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         workers=args.workers,
         algorithm=args.algorithm,
         priority=args.priority,
+        chunksize=args.chunksize,
     )
     try:
         result = runner.run(instances)

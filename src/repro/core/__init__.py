@@ -24,7 +24,12 @@ from .rounding import (
     time_stretch_bound,
     work_stretch_bound,
 )
-from .list_scheduler import capped_allotment, list_schedule
+from .arrays import InstanceArrays, instance_arrays
+from .list_scheduler import (
+    capped_allotment,
+    list_schedule,
+    list_schedule_loop,
+)
 from .list_variants import (
     PRIORITY_RULES,
     bottom_levels,
@@ -52,6 +57,7 @@ __all__ = [
     "list_schedule_with_priority",
     "HeavyPath",
     "Instance",
+    "InstanceArrays",
     "JZCertificate",
     "JZParameters",
     "JZResult",
@@ -64,7 +70,9 @@ __all__ = [
     "extract_heavy_path",
     "jz_parameters",
     "jz_schedule",
+    "instance_arrays",
     "list_schedule",
+    "list_schedule_loop",
     "max_mu",
     "mu_hat",
     "ratio_bound",

@@ -12,6 +12,20 @@ This module implements the avoided variant faithfully so the claim can be
 quality (both phase-1 formulations relax the same problem) but strictly
 more LP solves for the binary search.
 
+Because the search solves the *same* LP a few dozen times with only the
+deadline changing, the re-solves are warm-started instead of rebuilt from
+scratch:
+
+* the constraint matrix is assembled **once** per instance
+  (:func:`assemble_deadline_arrays`, memoized) — each probe only swaps
+  the completion-variable upper bounds before handing the sparse arrays
+  to HiGHS, which leaves the solution bit-identical to the cold path;
+* with the built-in simplex backend, each probe additionally starts from
+  the previous probe's optimal **basis**
+  (:func:`repro.lpsolve.simplex.solve_with_simplex`'s ``warm_basis``),
+  falling back to the cold two-phase start when the basis is no longer
+  feasible at the new deadline.
+
 API
 ---
 :func:`deadline_work_lp` — min Σ w̄_j/m subject to the precedence system
@@ -24,14 +38,19 @@ and a report with the search trace.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import NamedTuple, Optional, Tuple
+
+import numpy as np
 
 from ..lpsolve import LinearProgram, LpError
+from .arrays import memoized_on_instance
 from .instance import Instance
 from .rounding import round_fractional_times
 
 __all__ = [
+    "assemble_deadline_arrays",
     "deadline_work_lp",
+    "DeadlineArrays",
     "DeadlineLpResult",
     "BsearchReport",
     "bsearch_allotment",
@@ -47,16 +66,114 @@ class DeadlineLpResult:
     x: Tuple[float, ...]
 
 
-def deadline_work_lp(
-    instance: Instance, deadline: float, backend: str = "auto"
-) -> Optional[DeadlineLpResult]:
-    """Minimize total work subject to critical path <= ``deadline``.
+class DeadlineArrays(NamedTuple):
+    """The deadline LP assembled in bulk (``A_ub v <= b_ub`` form).
 
-    Returns ``None`` when the deadline is infeasible (shorter than the
-    all-``m`` critical path).
+    Same variable layout as the modeling-layer build of
+    :func:`deadline_work_lp`: ``x_j = 3j``, ``C_j = 3j + 1``,
+    ``w_j = 3j + 2``; rows grouped per task (fit, work segments), then
+    the precedence arcs.  The deadline itself only appears as the upper
+    bound of the ``C_j`` variables (``c_cols``), so one assembly serves
+    every probe of the binary search.
     """
-    if deadline <= 0:
-        return None
+
+    n_variables: int
+    c: np.ndarray  #: objective coefficients (1 on every w̄_j)
+    lo: np.ndarray  #: variable lower bounds
+    hi: np.ndarray  #: variable upper bounds, *without* a deadline
+    c_cols: np.ndarray  #: column indices of the C_j variables
+    rows: np.ndarray  #: COO row indices of A_ub
+    cols: np.ndarray  #: COO column indices of A_ub
+    vals: np.ndarray  #: COO values of A_ub
+    b_ub: np.ndarray  #: right-hand sides
+
+
+@memoized_on_instance
+def assemble_deadline_arrays(instance: Instance) -> DeadlineArrays:
+    """Assemble the deadline LP's constraint matrix once, memoized.
+
+    Built from the packed profile arrays and the DAG's CSR edge arrays —
+    the layout matches the modeling-layer path of
+    :func:`deadline_work_lp` row for row, so handing these arrays to the
+    same solver returns the same optimum.
+    """
+    from .arrays import instance_arrays
+
+    arr = instance_arrays(instance)
+    n = arr.n
+    nv = 3 * n
+    xs = np.arange(n) * 3
+    cs = xs + 1
+    ws = xs + 2
+
+    lo = np.zeros(nv)
+    hi = np.full(nv, np.inf)
+    lo[xs] = arr.min_time
+    hi[xs] = arr.max_time
+    lo[ws] = arr.work_lo
+    c = np.zeros(nv)
+    c[ws] = 1.0
+
+    # Per-task row block: fit_j, then the work segments of J_j.
+    nseg = arr.nseg
+    off = np.zeros(n + 1, dtype=np.intp)
+    np.cumsum(nseg + 1, out=off[1:])
+    fit_rows = off[:-1]
+    t_idx = arr.seg_task
+    # Flat segment p of task j sits at row off[j] + 1 + (p - segcum[j]);
+    # off[j] - segcum[j] = j, so the row is simply p + j + 1.
+    seg_rows = np.arange(len(t_idx)) + t_idx + 1
+
+    csr = instance.dag.to_csr()
+    edge_u = csr.edge_sources()
+    edge_v = csr.succ_indices
+    ne = len(edge_v)
+    prec_rows = off[-1] + np.arange(ne)
+    n_rows = int(off[-1]) + ne
+
+    rows = np.concatenate(
+        [
+            np.repeat(fit_rows, 2),  # x_j - C_j <= 0
+            np.repeat(seg_rows, 2),  # slope·x_j - w_j <= -intercept
+            np.repeat(prec_rows, 3),  # C_i + x_j - C_j <= 0
+        ]
+    )
+    cols = np.concatenate(
+        [
+            np.column_stack([xs, cs]).ravel(),
+            np.column_stack([xs[t_idx], ws[t_idx]]).ravel(),
+            np.column_stack([cs[edge_u], xs[edge_v], cs[edge_v]]).ravel(),
+        ]
+    )
+    vals = np.concatenate(
+        [
+            np.tile([1.0, -1.0], n),
+            np.column_stack(
+                [arr.seg_slope, np.full(len(t_idx), -1.0)]
+            ).ravel(),
+            np.tile([1.0, 1.0, -1.0], ne),
+        ]
+    )
+    b_ub = np.zeros(n_rows)
+    b_ub[seg_rows] = -arr.seg_intercept
+
+    return DeadlineArrays(
+        n_variables=nv,
+        c=c,
+        lo=lo,
+        hi=hi,
+        c_cols=cs,
+        rows=rows,
+        cols=cols,
+        vals=vals,
+        b_ub=b_ub,
+    )
+
+
+def _build_deadline_model(
+    instance: Instance, deadline: float
+) -> Tuple[LinearProgram, list]:
+    """Modeling-layer build of the deadline LP (the dense fallback)."""
     lp = LinearProgram(name=f"deadline-work d={deadline:g}")
     n = instance.n_tasks
     x_vars, c_vars, w_vars = [], [], []
@@ -84,15 +201,107 @@ def deadline_work_lp(
             0.0,
             name=f"prec{i}-{j}",
         )
-    try:
-        sol = lp.solve(backend=backend)
-    except LpError:
-        return None
-    x = tuple(sol[v] for v in x_vars)
-    total = sum(
-        instance.task(j).work_of_time(x[j]) for j in range(n)
-    )
-    return DeadlineLpResult(deadline=deadline, total_work=total, x=x)
+    return lp, x_vars
+
+
+class _DeadlineSolver:
+    """Warm-start state for the binary search's repeated deadline solves.
+
+    With SciPy available (backend ``"auto"``/``"scipy"``) the instance's
+    :class:`DeadlineArrays` are assembled once and every probe only swaps
+    the ``C_j`` upper bounds — solutions are identical to the cold
+    modeling-layer path.  With the built-in simplex the model is rebuilt
+    per probe (it is cheap at simplex-friendly sizes) but each solve
+    starts from the previous probe's optimal basis.  ``warm_start=False``
+    disables both: every probe rebuilds the model and solves cold,
+    exactly the pre-warm-start behavior — which is what the pinning
+    tests compare the warm path against.
+    """
+
+    def __init__(
+        self,
+        instance: Instance,
+        backend: str = "auto",
+        warm_start: bool = True,
+    ):
+        self._instance = instance
+        self._backend = backend
+        self._warm_start = bool(warm_start)
+        self._basis: Optional[Tuple[int, ...]] = None
+        self._arrays: Optional[DeadlineArrays] = None
+        self._matrix = None
+        if backend in ("auto", "scipy"):
+            try:
+                from ..lpsolve.scipy_backend import build_ub_matrix
+
+                if warm_start:
+                    self._arrays = assemble_deadline_arrays(instance)
+                    self._matrix = build_ub_matrix(self._arrays)
+            except ImportError:
+                if backend == "scipy":
+                    raise LpError(
+                        "scipy backend requested but unavailable"
+                    ) from None
+
+    def solve(self, deadline: float) -> Optional[DeadlineLpResult]:
+        """One probe: ``None`` when the deadline is infeasible."""
+        if deadline <= 0:
+            return None
+        instance = self._instance
+        n = instance.n_tasks
+        if self._arrays is not None:
+            from ..lpsolve.scipy_backend import solve_ub_arrays
+
+            arr = self._arrays
+            hi = arr.hi.copy()
+            hi[arr.c_cols] = deadline
+            try:
+                sol = solve_ub_arrays(
+                    arr._replace(hi=hi), A_ub=self._matrix
+                )
+            except LpError:
+                return None
+            x = tuple(sol.values[3 * j] for j in range(n))
+        else:
+            # Cold path: rebuild the model per probe (exactly the
+            # pre-warm-start behavior; also the no-SciPy fallback).
+            lp, x_vars = _build_deadline_model(instance, deadline)
+            if self._backend == "simplex":
+                from ..lpsolve.simplex import solve_with_simplex
+
+                try:
+                    sol = solve_with_simplex(
+                        lp,
+                        warm_basis=(
+                            self._basis if self._warm_start else None
+                        ),
+                    )
+                except LpError:
+                    return None
+                self._basis = sol.basis
+            else:
+                try:
+                    sol = lp.solve(backend=self._backend)
+                except LpError:
+                    return None
+            x = tuple(sol[v] for v in x_vars)
+        total = sum(
+            instance.task(j).work_of_time(x[j]) for j in range(n)
+        )
+        return DeadlineLpResult(deadline=deadline, total_work=total, x=x)
+
+
+def deadline_work_lp(
+    instance: Instance, deadline: float, backend: str = "auto"
+) -> Optional[DeadlineLpResult]:
+    """Minimize total work subject to critical path <= ``deadline``.
+
+    Returns ``None`` when the deadline is infeasible (shorter than the
+    all-``m`` critical path).  One-shot form of :class:`_DeadlineSolver`
+    — repeated solves of the same instance share the memoized matrix
+    assembly.
+    """
+    return _DeadlineSolver(instance, backend=backend).solve(deadline)
 
 
 @dataclass(frozen=True)
@@ -112,22 +321,29 @@ def bsearch_allotment(
     rel_tol: float = 1e-4,
     max_iterations: int = 60,
     backend: str = "auto",
+    warm_start: bool = True,
 ) -> BsearchReport:
     """Phase 1 via deadline binary search, as in [18].
 
     Searches the deadline ``d`` in ``[L_min, Σ p_j(1)]`` for the balance
     point of ``max(d, W(d)/m)`` (``W(d)`` is non-increasing in ``d``,
     ``d`` is increasing, so the max is unimodal), then applies the same
-    critical-point rounding as the direct pipeline.
+    critical-point rounding as the direct pipeline.  Every probe after
+    the first is warm-started (see the module docstring); pass
+    ``warm_start=False`` for the cold-start path, which the test suite
+    pins the warm results against.
     """
     m = instance.m
     lo = max(instance.min_critical_path(), 1e-12)
     hi = max(instance.sequential_makespan(), lo * (1 + 1e-9))
+    solver = _DeadlineSolver(
+        instance, backend=backend, warm_start=warm_start
+    )
     solves = 0
 
-    def evaluate(d: float) -> Tuple[float, DeadlineLpResult]:
+    def evaluate(d: float) -> Tuple[float, Optional[DeadlineLpResult]]:
         nonlocal solves
-        res = deadline_work_lp(instance, d, backend=backend)
+        res = solver.solve(d)
         solves += 1
         if res is None:
             return float("inf"), None

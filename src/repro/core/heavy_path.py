@@ -19,6 +19,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+import numpy as np
+
+from ..dag.csr import reachable_mask
 from ..schedule import Schedule, busy_profile
 from .instance import Instance
 
@@ -98,6 +101,17 @@ def extract_heavy_path(
     )  # finishes at makespan
     path: List[int] = [last.task]
 
+    # Array image of the schedule (indexed by task id) and the DAG's CSR
+    # form: each hop is an ancestor-mask BFS plus an interval test over
+    # these vectors instead of a per-node Python closure walk.
+    n = instance.n_tasks
+    csr = instance.dag.to_csr()
+    starts = np.full(n, np.inf)  # unscheduled tasks are never "running"
+    ends = np.full(n, -np.inf)
+    for e in schedule.entries:
+        starts[e.task] = e.start
+        ends[e.task] = e.end
+
     def latest_light_before(t: float) -> Optional[Tuple[float, float]]:
         best = None
         for s, e in light:
@@ -106,41 +120,46 @@ def extract_heavy_path(
         return best
 
     while True:
-        cur = schedule[path[-1]]
-        slot = latest_light_before(cur.start)
+        cur_start = float(starts[path[-1]])
+        slot = latest_light_before(cur_start)
         if slot is None:
             break
         s, e = slot
-        probe = min(e, cur.start) - _TOL  # a time inside the slot
-        # Find an ancestor running during the slot.  Lemma 4.3 guarantees
-        # one exists among the predecessors' closure.
-        hop = None
-        ancestors = instance.dag.ancestors(path[-1])
-        for a in sorted(ancestors):
-            ea = schedule[a]
-            if ea.start <= probe + _TOL and ea.end >= probe - _TOL:
-                hop = a
-                break
-        if hop is None:
+        probe = min(e, cur_start) - _TOL  # a time inside the slot
+        # Find the smallest-id ancestor running during the slot.  Lemma
+        # 4.3 guarantees one exists among the predecessors' closure.
+        running = (
+            reachable_mask(csr, path[-1], "pred")
+            & (starts <= probe + _TOL)
+            & (ends >= probe - _TOL)
+        )
+        if not running.any():
             # The current task's whole ancestry finished before the slot —
             # the path construction stops (the slot is covered by an
             # earlier hop or lies before the path's first task; the
             # covering check below reports any genuine gap).
             break
-        path.append(hop)
+        path.append(int(np.argmax(running)))
 
     path.reverse()
-    # Measure how much light-slot length the path's execution intervals cover.
-    covered = 0.0
-    for s, e in light:
-        seg = 0.0
-        for j in path:
-            ent = schedule[j]
-            lo = max(s, ent.start)
-            hi = min(e, ent.end)
-            if hi > lo:
-                seg += hi - lo
-        covered += min(seg, e - s)
+    # Measure how much light-slot length the path's execution intervals
+    # cover: clip every (slot × path task) pair at once.
+    if light:
+        slot_s = np.array([s for s, _ in light])
+        slot_e = np.array([e for _, e in light])
+        p_start = starts[path]
+        p_end = ends[path]
+        overlap = np.clip(
+            np.minimum(slot_e[:, None], p_end[None, :])
+            - np.maximum(slot_s[:, None], p_start[None, :]),
+            0.0,
+            None,
+        ).sum(axis=1)
+        covered = float(
+            np.minimum(overlap, slot_e - slot_s).sum()
+        )
+    else:
+        covered = 0.0
     return HeavyPath(
         tasks=tuple(path),
         covered_t1_t2=covered,

@@ -13,7 +13,7 @@ allotment, ``l_j = min(l′_j, μ)``, and then list-schedules:
 "Earliest possible starting time" accounts for both precedence (completion
 times of already-scheduled predecessors, which are fixed) and processor
 availability (the first window with ``l_j`` processors free for the whole
-duration, via :class:`repro.schedule.ResourceTimeline`).
+duration).
 
 The cap matters for the analysis: with every task using at most
 ``μ <= ⌊(m+1)/2⌋`` processors, a task and any ready successor can never be
@@ -24,20 +24,29 @@ of Lemma 4.3 work.
 ``μ = m`` — that is the classic Graham list scheduling [8] generalized to
 malleable allotments, and is what the naive baselines build on.
 
-Implementation note — incremental earliest-start cache
-------------------------------------------------------
-A literal transcription of the loop above recomputes the earliest start of
-*every* ready task on *every* iteration, which is ``O(n · |READY| · B)``
-timeline work (``B`` = number of profile breakpoints) and dominates the
-whole pipeline on wide DAGs.  :func:`list_schedule` instead caches each
-ready task's earliest feasible start and revalidates lazily: reservations
-only ever *add* usage, so a cached start stays exact unless its window
-overlaps the newly reserved rectangle, and on overlap the fresh earliest
-start can be recomputed starting from the cached value (feasible starts
-are monotone under added reservations).  Selection then scans the exact
-cached values with the same index order and tolerance as the literal loop,
-so the produced schedule is bit-identical to
-:func:`list_schedule_reference` — a property the test suite asserts.
+Implementation note — array-backed ready frontier
+-------------------------------------------------
+Three implementations share one bit-identical contract:
+
+* :func:`list_schedule` — the array-native path.  The ready frontier
+  lives in NumPy vectors (indegree counters, a cached earliest-start
+  vector, durations); selection is an ``argmin`` over the earliest-start
+  vector (with an exact scalar fallback for the rare sub-tolerance tie),
+  and revalidation after each reservation batches the overlapping ready
+  tasks into *groups* sharing (cached start, demand) — measured at a
+  few groups per hundreds of overlapping tasks — each answered by one
+  :meth:`repro.schedule.timeline.ArrayTimeline.earliest_start_batch`
+  suffix sweep.
+* :func:`list_schedule_loop` — the earlier per-task Python loop with the
+  incremental earliest-start cache (the pre-CSR optimized path, kept as
+  the scaling benchmark's baseline).
+* :func:`list_schedule_reference` — the literal transcription of
+  Table 1, the executable specification.
+
+The produced schedules are identical float for float: all three compute
+the same ``start + duration`` sums on the same IEEE doubles and select
+with the same index order and tolerance — asserted by the test suite on
+random instances.
 """
 
 from __future__ import annotations
@@ -45,10 +54,18 @@ from __future__ import annotations
 from bisect import insort
 from typing import List, Optional, Sequence
 
+import numpy as np
+
 from ..schedule import ResourceTimeline, Schedule, ScheduledTask
+from ..schedule.timeline import ArrayTimeline
 from .instance import Instance
 
-__all__ = ["list_schedule", "list_schedule_reference", "capped_allotment"]
+__all__ = [
+    "list_schedule",
+    "list_schedule_loop",
+    "list_schedule_reference",
+    "capped_allotment",
+]
 
 #: Tolerance of the "smallest earliest start" selection scan.  A candidate
 #: replaces the incumbent only when it is better by more than this, so the
@@ -68,6 +85,18 @@ def _checked_cap(instance: Instance, mu: Optional[int]) -> int:
     if not (1 <= cap <= instance.m):
         raise ValueError(f"mu must be in [1, {instance.m}], got {mu}")
     return cap
+
+
+def _scan_select(ready_ids: np.ndarray, est: np.ndarray) -> int:
+    """The literal selection scan of Table 1 over exact cached starts:
+    iterate ready tasks in index order, replacing the incumbent only on
+    a strictly-more-than-tolerance improvement."""
+    best_j, best_t = -1, float("inf")
+    for j in ready_ids.tolist():
+        t = est[j]
+        if t < best_t - _SELECT_TOL:
+            best_j, best_t = j, t
+    return best_j
 
 
 def list_schedule(
@@ -90,9 +119,122 @@ def list_schedule(
     -------
     Schedule
         A feasible schedule (validated property in the test suite),
-        bit-identical to :func:`list_schedule_reference` but computed with
-        the incremental earliest-start cache described in the module
-        docstring.
+        bit-identical to :func:`list_schedule_reference` but computed
+        over the CSR arrays with the batched ready-frontier described in
+        the module docstring.
+    """
+    n = instance.n_tasks
+    csr = instance.dag.to_csr()
+    # Narrow-frontier dispatch: on deep, thin DAGs (chains, skinny
+    # layers) the ready set holds a handful of tasks and the per-task
+    # loop beats per-iteration NumPy overhead; the average level width
+    # n / #levels tracks the frontier width well and the crossover sits
+    # near 100 (measured).  Both paths are bit-identical (and validate
+    # their arguments identically), so this is purely a constant-factor
+    # choice.
+    if n < 256 or n < 96 * csr.depths().n_levels:
+        return list_schedule_loop(instance, allotment, mu=mu)
+
+    instance.validate_allotment(allotment)
+    m = instance.m
+    alloc_list = capped_allotment(allotment, _checked_cap(instance, mu))
+
+    from .arrays import instance_arrays
+    arrays = instance_arrays(instance)
+    alloc = np.asarray(alloc_list, dtype=np.intp)
+    dur = arrays.times[np.arange(n), alloc - 1]
+
+    timeline = ArrayTimeline(m)
+    est = np.full(n, np.inf)
+    completion = np.zeros(n)
+    indeg = csr.in_degrees().copy()
+    ready_ids = np.flatnonzero(indeg == 0)
+    # Empty timeline: every source's earliest start is its ready time 0.
+    est[ready_ids] = 0.0
+
+    succ_indptr, succ_indices = csr.succ_indptr, csr.succ_indices
+    pred_indptr, pred_indices = csr.pred_indptr, csr.pred_indices
+    entries: List[ScheduledTask] = []
+
+    for _ in range(n):
+        if not ready_ids.size:  # pragma: no cover - impossible on a DAG
+            raise RuntimeError("no ready task but unscheduled tasks remain")
+        # Schedule the ready task with the smallest earliest start.  The
+        # argmin over the (index-sorted) ready frontier — first
+        # occurrence = lowest task id — equals the reference tolerance
+        # scan unless distinct values sit within the tolerance of the
+        # minimum; then run the exact scalar scan.
+        vals = est[ready_ids]
+        bi = int(np.argmin(vals))
+        vmin = vals[bi]
+        near = vals <= vmin + _SELECT_TOL
+        if np.count_nonzero(near) > 1 and bool(
+            np.any(vals[near] != vmin)
+        ):
+            j = _scan_select(ready_ids, est)
+        else:
+            j = int(ready_ids[bi])
+        best_t = float(est[j])
+        dj = float(dur[j])
+        aj = int(alloc[j])
+        end = best_t + dj
+        timeline.reserve(best_t, end, aj)
+        completion[j] = end
+        entries.append(
+            ScheduledTask(task=j, start=best_t, processors=aj, duration=dj)
+        )
+        est[j] = np.inf
+        ready_ids = ready_ids[ready_ids != j]
+
+        # Newly-ready successors: their ready time is the max completion
+        # over their predecessors (all scheduled by now).
+        s0, s1 = succ_indptr[j], succ_indptr[j + 1]
+        newly = None
+        if s1 > s0:
+            succ = succ_indices[s0:s1]
+            indeg[succ] -= 1
+            newly = succ[indeg[succ] == 0]
+            if newly.size:
+                for s in newly.tolist():
+                    p0, p1 = pred_indptr[s], pred_indptr[s + 1]
+                    est[s] = completion[pred_indices[p0:p1]].max()
+                ready_ids = np.sort(np.concatenate([ready_ids, newly]))
+            else:
+                newly = None
+
+        # One mixed batch query per iteration refreshes every start that
+        # the new reservation may have moved: ready tasks whose cached
+        # window overlaps it, plus the newly-ready tasks (whose ``est``
+        # currently holds just the precedence ready time).
+        if ready_ids.size:
+            t_r = est[ready_ids]
+            refresh = (t_r < end) & (t_r + dur[ready_ids] > best_t)
+            if newly is not None:
+                refresh |= np.isin(ready_ids, newly, assume_unique=True)
+            if refresh.any():
+                ids = ready_ids[refresh]
+                est[ids] = timeline.earliest_start_many(
+                    est[ids], dur[ids], alloc[ids]
+                )
+
+    return Schedule(m, entries)
+
+
+def list_schedule_loop(
+    instance: Instance,
+    allotment: Sequence[int],
+    mu: Optional[int] = None,
+) -> Schedule:
+    """The pre-CSR optimized path: per-task Python loop with an
+    incremental earliest-start cache.
+
+    Reservations only ever *add* usage, so a cached start stays exact
+    unless its window overlaps the newly reserved rectangle, and on
+    overlap the fresh earliest start can be recomputed starting from the
+    cached value (feasible starts are monotone under added
+    reservations).  Kept as the scaling benchmark's baseline and as an
+    equivalence witness between :func:`list_schedule` and
+    :func:`list_schedule_reference`.
     """
     instance.validate_allotment(allotment)
     m = instance.m
@@ -165,8 +307,8 @@ def list_schedule_reference(
 
     Recomputes every ready task's earliest start on every iteration.  Kept
     as the executable specification: the test suite asserts
-    :func:`list_schedule` matches it bit for bit, and
-    ``benchmarks/bench_engine.py`` measures the speedup against it.
+    :func:`list_schedule` matches it bit for bit, and the benchmarks
+    measure the speedup against it.
     """
     instance.validate_allotment(allotment)
     m = instance.m

@@ -44,7 +44,24 @@ PRIORITY_RULES = (
 def _compute_bottom_levels(
     instance: Instance, durations: Sequence[float]
 ) -> List[float]:
-    """Longest remaining-path length starting at each task (inclusive)."""
+    """Longest remaining-path length starting at each task (inclusive).
+
+    Runs as the CSR array kernel
+    (:func:`repro.dag.csr.bottom_levels_kernel`);
+    :func:`_bottom_levels_reference` is the per-node transcription the
+    property suite pins the kernel against.
+    """
+    from ..dag.csr import bottom_levels_kernel
+
+    return bottom_levels_kernel(
+        instance.dag.to_csr(), durations
+    ).tolist()
+
+
+def _bottom_levels_reference(
+    instance: Instance, durations: Sequence[float]
+) -> List[float]:
+    """Per-node Python reference for :func:`_compute_bottom_levels`."""
     dag = instance.dag
     level = [0.0] * instance.n_tasks
     for v in reversed(dag.topological_order()):

@@ -34,6 +34,7 @@ from typing import NamedTuple, Tuple
 import numpy as np
 
 from ..lpsolve import LinearProgram, LpSolution
+from .arrays import memoized_on_instance
 from .instance import Instance
 
 __all__ = [
@@ -187,17 +188,22 @@ class AllotmentArrays(NamedTuple):
     b_ub: np.ndarray  #: right-hand sides
 
 
+@memoized_on_instance
 def assemble_allotment_arrays(instance: Instance) -> AllotmentArrays:
     """Assemble LP (9) for ``instance`` directly into NumPy arrays.
 
     Equivalent to :func:`build_allotment_lp` followed by the modeling-layer
-    conversion, but built in bulk with array operations instead of one
-    Python ``add_constraint`` call (and dict) per row — the per-task loops
-    only gather the already-cached work segments.
+    conversion, but built in bulk from the memoized packed profile arrays
+    (:func:`repro.core.arrays.instance_arrays`) and the DAG's CSR edge
+    arrays — no per-task or per-edge Python work at all.  The result is
+    itself memoized per instance (weakly), so the LP-based strategies of
+    a pipeline sweep share one assembly.
     """
-    n = instance.n_tasks
-    m = instance.m
-    tasks = instance.tasks
+    from .arrays import instance_arrays
+
+    arr = instance_arrays(instance)
+    n = arr.n
+    m = arr.m
     nv = 3 * n + 2
     xs = np.arange(n) * 3
     cs = xs + 1
@@ -205,25 +211,16 @@ def assemble_allotment_arrays(instance: Instance) -> AllotmentArrays:
     l_var = 3 * n
     c_max = 3 * n + 1
 
-    seg_lists = [t.segments() for t in tasks]
-    nseg = np.array([len(s) for s in seg_lists], dtype=np.intp)
-    slopes = np.array(
-        [s.slope for segs in seg_lists for s in segs], dtype=float
-    )
-    intercepts = np.array(
-        [s.intercept for segs in seg_lists for s in segs], dtype=float
-    )
+    nseg = arr.nseg
+    slopes = arr.seg_slope
+    intercepts = arr.seg_intercept
 
     lo = np.zeros(nv)
     hi = np.full(nv, np.inf)
-    lo[xs] = [t.min_time for t in tasks]
-    hi[xs] = [t.max_time for t in tasks]
+    lo[xs] = arr.min_time
+    hi[xs] = arr.max_time
     # Rigid tasks (no segments) have constant work; bound w̄ directly.
-    lo[ws] = np.where(
-        nseg == 0,
-        [t.breakpoints[0][0] * t.breakpoints[0][1] for t in tasks],
-        0.0,
-    )
+    lo[ws] = arr.work_lo
     c = np.zeros(nv)
     c[c_max] = 1.0
 
@@ -233,12 +230,13 @@ def assemble_allotment_arrays(instance: Instance) -> AllotmentArrays:
     np.cumsum(block, out=off[1:])
     fit_rows = off[:-1]
     span_rows = off[:-1] + 1
-    t_idx = np.repeat(np.arange(n), nseg)
+    t_idx = arr.seg_task
     # Flat segment p of task j sits at row off[j] + 2 + (p - segcum[j]);
     # off[j] - segcum[j] = 2j, so the row is simply p + 2·j + 2.
     seg_rows = np.arange(len(t_idx)) + 2 * t_idx + 2
 
-    edges = np.asarray(instance.dag.edges, dtype=np.intp).reshape(-1, 2)
+    csr = instance.dag.to_csr()
+    edges = np.column_stack([csr.edge_sources(), csr.succ_indices])
     ne = len(edges)
     prec_rows = off[-1] + np.arange(ne)
     r_lc = off[-1] + ne  # L <= C

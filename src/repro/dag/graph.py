@@ -3,18 +3,26 @@
 The paper models precedence constraints as a DAG ``G = (V, E)`` over the task
 set ``V = {0, .., n-1}``: an arc ``(i, j)`` means task ``j`` cannot start
 before task ``i`` completes (Section 1 of the paper).  This module provides a
-small, dependency-free, immutable DAG type tailored to the scheduling
-algorithms in :mod:`repro.core`.
+small, immutable DAG type tailored to the scheduling algorithms in
+:mod:`repro.core`.
 
-Nodes are consecutive integers ``0..n-1``.  The class validates acyclicity at
-construction time and precomputes predecessor/successor adjacency and a
-topological order, which every downstream algorithm (LP construction, list
-scheduling, critical-path computation) consumes.
+Nodes are consecutive integers ``0..n-1``.  The canonical internal form is
+the frozen CSR image of :mod:`repro.dag.csr` (``indptr``/``indices`` arrays
+for successors *and* predecessors), built vectorized at construction time —
+which is also when acyclicity is validated.  The tuple-of-tuples adjacency
+and the lexicographically-smallest topological order of the original
+implementation are still available, but are materialized lazily: the hot
+O(n + |E|) passes (critical paths, bottom levels, ready-set maintenance)
+all run as NumPy kernels over the CSR arrays instead.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from .csr import DagCsr, longest_path_kernel
 
 __all__ = ["CycleError", "Dag"]
 
@@ -42,34 +50,39 @@ class Dag:
         If an endpoint is out of range or ``n_nodes`` is negative.
     """
 
-    __slots__ = ("_n", "_succ", "_pred", "_edges", "_topo_order")
+    __slots__ = ("_n", "_csr", "_succ", "_pred", "_edges", "_topo_order")
 
     def __init__(self, n_nodes: int, edges: Iterable[Tuple[int, int]] = ()):
         if n_nodes < 0:
             raise ValueError(f"n_nodes must be >= 0, got {n_nodes}")
         self._n = int(n_nodes)
-        succ: List[Set[int]] = [set() for _ in range(self._n)]
-        pred: List[Set[int]] = [set() for _ in range(self._n)]
-        for u, v in edges:
-            u, v = int(u), int(v)
-            if not (0 <= u < self._n and 0 <= v < self._n):
+        e = np.asarray(
+            edges if isinstance(edges, np.ndarray) else list(edges),
+            dtype=np.intp,
+        ).reshape(-1, 2)
+        if e.size:
+            if e.min() < 0 or e.max() >= self._n:
+                bad = e[(e[:, 0] < 0) | (e[:, 0] >= self._n)
+                        | (e[:, 1] < 0) | (e[:, 1] >= self._n)][0]
                 raise ValueError(
-                    f"edge ({u}, {v}) out of range for {self._n} nodes"
+                    f"edge ({bad[0]}, {bad[1]}) out of range for "
+                    f"{self._n} nodes"
                 )
-            if u == v:
-                raise CycleError(f"self-loop on node {u}")
-            succ[u].add(v)
-            pred[v].add(u)
-        self._succ: Tuple[Tuple[int, ...], ...] = tuple(
-            tuple(sorted(s)) for s in succ
-        )
-        self._pred: Tuple[Tuple[int, ...], ...] = tuple(
-            tuple(sorted(p)) for p in pred
-        )
-        self._edges: Tuple[Tuple[int, int], ...] = tuple(
-            (u, v) for u in range(self._n) for v in self._succ[u]
-        )
-        self._topo_order = self._compute_topo_order()
+            loops = e[:, 0] == e[:, 1]
+            if loops.any():
+                raise CycleError(
+                    f"self-loop on node {e[loops][0, 0]}"
+                )
+            e = np.unique(e, axis=0)  # dedup + lexicographic sort
+        self._csr = DagCsr.from_edge_arrays(self._n, e[:, 0], e[:, 1])
+        try:
+            self._csr.validate_acyclic()
+        except ValueError as exc:
+            raise CycleError(str(exc)) from None
+        self._succ: Optional[Tuple[Tuple[int, ...], ...]] = None
+        self._pred: Optional[Tuple[Tuple[int, ...], ...]] = None
+        self._edges: Optional[Tuple[Tuple[int, int], ...]] = None
+        self._topo_order: Optional[Tuple[int, ...]] = None
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -90,6 +103,52 @@ class Dag:
         """``n_nodes`` independent tasks (no precedence constraints)."""
         return cls(n_nodes)
 
+    @classmethod
+    def _from_csr_arrays(
+        cls, n: int, succ_indptr: np.ndarray, succ_indices: np.ndarray
+    ) -> "Dag":
+        """Rebuild from trusted CSR arrays (unpickling fast path).
+
+        Skips validation — the arrays come from an already-validated
+        instance — and recomputes the predecessor CSR vectorized.
+        """
+        dag = cls.__new__(cls)
+        dag._n = int(n)
+        dag._csr = DagCsr.from_edge_arrays(
+            dag._n,
+            np.repeat(
+                np.arange(dag._n, dtype=np.intp), np.diff(succ_indptr)
+            ),
+            succ_indices,
+        )
+        dag._succ = None
+        dag._pred = None
+        dag._edges = None
+        dag._topo_order = None
+        return dag
+
+    def __reduce__(self):
+        # Pickle only the successor CSR (two compact NumPy arrays) — the
+        # predecessor CSR and all lazy caches are rebuilt on load.  This
+        # is what the batch engine ships to pool workers, so instance
+        # serialization no longer scales with Python tuple overhead.
+        return (
+            Dag._from_csr_arrays,
+            (self._n, self._csr.succ_indptr, self._csr.succ_indices),
+        )
+
+    # ------------------------------------------------------------------
+    # CSR access
+    # ------------------------------------------------------------------
+    def to_csr(self) -> DagCsr:
+        """The frozen CSR image of this DAG (memoized; always present).
+
+        Every array kernel (:mod:`repro.dag.csr`) and the array-native
+        solver passes consume this object; it is built once at
+        construction and shared by all of them.
+        """
+        return self._csr
+
     # ------------------------------------------------------------------
     # basic accessors
     # ------------------------------------------------------------------
@@ -101,90 +160,134 @@ class Dag:
     @property
     def n_edges(self) -> int:
         """Number of (deduplicated) arcs."""
-        return len(self._edges)
+        return self._csr.n_edges
 
     @property
     def edges(self) -> Tuple[Tuple[int, int], ...]:
         """All arcs, sorted lexicographically."""
+        if self._edges is None:
+            self._edges = tuple(
+                zip(
+                    self._csr.edge_sources().tolist(),
+                    self._csr.succ_indices.tolist(),
+                )
+            )
         return self._edges
+
+    def _succ_tuples(self) -> Tuple[Tuple[int, ...], ...]:
+        if self._succ is None:
+            indptr = self._csr.succ_indptr.tolist()
+            indices = self._csr.succ_indices.tolist()
+            self._succ = tuple(
+                tuple(indices[indptr[v]:indptr[v + 1]])
+                for v in range(self._n)
+            )
+        return self._succ
+
+    def _pred_tuples(self) -> Tuple[Tuple[int, ...], ...]:
+        if self._pred is None:
+            indptr = self._csr.pred_indptr.tolist()
+            indices = self._csr.pred_indices.tolist()
+            self._pred = tuple(
+                tuple(indices[indptr[v]:indptr[v + 1]])
+                for v in range(self._n)
+            )
+        return self._pred
 
     def successors(self, v: int) -> Tuple[int, ...]:
         """Direct successors Γ⁺(v) — tasks that must wait for ``v``."""
-        return self._succ[v]
+        return self._succ_tuples()[v]
 
     def predecessors(self, v: int) -> Tuple[int, ...]:
         """Direct predecessors Γ⁻(v) — tasks ``v`` must wait for."""
-        return self._pred[v]
+        return self._pred_tuples()[v]
 
     def in_degree(self, v: int) -> int:
         """Number of direct predecessors of ``v``."""
-        return len(self._pred[v])
+        if not (0 <= v < self._n):
+            raise IndexError(f"node {v} out of range")
+        return int(
+            self._csr.pred_indptr[v + 1] - self._csr.pred_indptr[v]
+        )
 
     def out_degree(self, v: int) -> int:
         """Number of direct successors of ``v``."""
-        return len(self._succ[v])
+        if not (0 <= v < self._n):
+            raise IndexError(f"node {v} out of range")
+        return int(
+            self._csr.succ_indptr[v + 1] - self._csr.succ_indptr[v]
+        )
 
     def sources(self) -> Tuple[int, ...]:
         """Nodes with no predecessors (ready at time zero)."""
-        return tuple(v for v in range(self._n) if not self._pred[v])
+        return tuple(
+            np.flatnonzero(self._csr.in_degrees() == 0).tolist()
+        )
 
     def sinks(self) -> Tuple[int, ...]:
         """Nodes with no successors."""
-        return tuple(v for v in range(self._n) if not self._succ[v])
+        return tuple(
+            np.flatnonzero(self._csr.out_degrees() == 0).tolist()
+        )
 
     def has_edge(self, u: int, v: int) -> bool:
         """Whether the arc ``(u, v)`` is present."""
-        return v in self._succ[u]
+        row = self._csr.succ_indices[
+            self._csr.succ_indptr[u]:self._csr.succ_indptr[u + 1]
+        ]
+        k = int(np.searchsorted(row, v))
+        return k < len(row) and int(row[k]) == v
 
     # ------------------------------------------------------------------
     # orders and reachability
     # ------------------------------------------------------------------
     def _compute_topo_order(self) -> Tuple[int, ...]:
-        """Kahn's algorithm; raises :class:`CycleError` on a cycle."""
-        indeg = [len(self._pred[v]) for v in range(self._n)]
-        # A deterministic order (smallest node first) keeps every downstream
-        # algorithm reproducible without a seed.
+        """Kahn's algorithm with a heap — the lexicographically smallest
+        topological order, kept for reproducibility of the original API.
+        (The array kernels use the level order of
+        :func:`repro.dag.csr.topo_order_levels` instead; all kernel
+        results are order-independent.)"""
         from heapq import heapify, heappop, heappush
 
+        indptr = self._csr.succ_indptr.tolist()
+        indices = self._csr.succ_indices.tolist()
+        indeg = self._csr.in_degrees().tolist()
         ready = [v for v in range(self._n) if indeg[v] == 0]
         heapify(ready)
         order: List[int] = []
         while ready:
             v = heappop(ready)
             order.append(v)
-            for w in self._succ[v]:
+            for k in range(indptr[v], indptr[v + 1]):
+                w = indices[k]
                 indeg[w] -= 1
                 if indeg[w] == 0:
                     heappush(ready, w)
-        if len(order) != self._n:
+        if len(order) != self._n:  # pragma: no cover - caught at init
             raise CycleError("edge set contains a directed cycle")
         return tuple(order)
 
     def topological_order(self) -> Tuple[int, ...]:
         """A deterministic topological order of all nodes."""
+        if self._topo_order is None:
+            self._topo_order = self._compute_topo_order()
         return self._topo_order
 
     def ancestors(self, v: int) -> Set[int]:
         """All (transitive) predecessors of ``v``, excluding ``v``."""
-        seen: Set[int] = set()
-        stack = list(self._pred[v])
-        while stack:
-            u = stack.pop()
-            if u not in seen:
-                seen.add(u)
-                stack.extend(self._pred[u])
-        return seen
+        from .csr import reachable_mask
+
+        return set(
+            np.flatnonzero(reachable_mask(self._csr, v, "pred")).tolist()
+        )
 
     def descendants(self, v: int) -> Set[int]:
         """All (transitive) successors of ``v``, excluding ``v``."""
-        seen: Set[int] = set()
-        stack = list(self._succ[v])
-        while stack:
-            u = stack.pop()
-            if u not in seen:
-                seen.add(u)
-                stack.extend(self._succ[u])
-        return seen
+        from .csr import reachable_mask
+
+        return set(
+            np.flatnonzero(reachable_mask(self._csr, v, "succ")).tolist()
+        )
 
     def reachable(self, u: int, v: int) -> bool:
         """Whether there is a directed path from ``u`` to ``v`` (u != v)."""
@@ -198,9 +301,10 @@ class Dag:
     def transitive_closure(self) -> "Dag":
         """DAG with an arc ``(u, v)`` for every directed path ``u ->* v``."""
         desc: Dict[int, Set[int]] = {}
-        for v in reversed(self._topo_order):
+        succ = self._succ_tuples()
+        for v in reversed(self.topological_order()):
             d: Set[int] = set()
-            for w in self._succ[v]:
+            for w in succ[v]:
                 d.add(w)
                 d |= desc[w]
             desc[v] = d
@@ -213,17 +317,18 @@ class Dag:
         through some other successor of ``u``.
         """
         desc: Dict[int, Set[int]] = {}
-        for v in reversed(self._topo_order):
+        succ = self._succ_tuples()
+        for v in reversed(self.topological_order()):
             d: Set[int] = set()
-            for w in self._succ[v]:
+            for w in succ[v]:
                 d.add(w)
                 d |= desc[w]
             desc[v] = d
         keep = []
         for u in range(self._n):
-            for v in self._succ[u]:
+            for v in succ[u]:
                 redundant = any(
-                    v in desc[w] for w in self._succ[u] if w != v
+                    v in desc[w] for w in succ[u] if w != v
                 )
                 if not redundant:
                     keep.append((u, v))
@@ -231,7 +336,12 @@ class Dag:
 
     def reversed_dag(self) -> "Dag":
         """The DAG with every arc flipped."""
-        return Dag(self._n, ((v, u) for (u, v) in self._edges))
+        return Dag(
+            self._n,
+            np.column_stack(
+                [self._csr.succ_indices, self._csr.edge_sources()]
+            ),
+        )
 
     def induced_subgraph(self, nodes: Iterable[int]) -> Tuple["Dag", Dict[int, int]]:
         """Subgraph on ``nodes``; returns the new DAG and old->new node map."""
@@ -242,7 +352,7 @@ class Dag:
         remap = {old: new for new, old in enumerate(keep)}
         edges = [
             (remap[u], remap[v])
-            for (u, v) in self._edges
+            for (u, v) in self.edges
             if u in remap and v in remap
         ]
         return Dag(len(keep), edges), remap
@@ -254,20 +364,15 @@ class Dag:
         """Maximum total node weight along any directed path.
 
         This is the paper's *critical path length* ``L`` for node weights
-        equal to processing times.  Runs in O(V + E).
+        equal to processing times.  Runs in O(V + E) as an array kernel
+        over the CSR form.
         """
         if len(weights) != self._n:
             raise ValueError("one weight per node required")
         if self._n == 0:
             return 0.0
-        dist = [0.0] * self._n
-        for v in self._topo_order:
-            best = 0.0
-            for u in self._pred[v]:
-                if dist[u] > best:
-                    best = dist[u]
-            dist[v] = best + float(weights[v])
-        return max(dist)
+        length, _ = longest_path_kernel(self._csr, weights)
+        return length
 
     def longest_path(self, weights: Sequence[float]) -> List[int]:
         """A node sequence realizing :meth:`longest_path_length`."""
@@ -275,20 +380,7 @@ class Dag:
             raise ValueError("one weight per node required")
         if self._n == 0:
             return []
-        dist = [0.0] * self._n
-        parent = [-1] * self._n
-        for v in self._topo_order:
-            best, arg = 0.0, -1
-            for u in self._pred[v]:
-                if dist[u] > best:
-                    best, arg = dist[u], u
-            dist[v] = best + float(weights[v])
-            parent[v] = arg
-        end = max(range(self._n), key=lambda v: dist[v])
-        path = [end]
-        while parent[path[-1]] != -1:
-            path.append(parent[path[-1]])
-        path.reverse()
+        _, path = longest_path_kernel(self._csr, weights, want_path=True)
         return path
 
     def depth(self) -> int:
@@ -303,10 +395,24 @@ class Dag:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Dag):
             return NotImplemented
-        return self._n == other._n and self._edges == other._edges
+        return (
+            self._n == other._n
+            and np.array_equal(
+                self._csr.succ_indptr, other._csr.succ_indptr
+            )
+            and np.array_equal(
+                self._csr.succ_indices, other._csr.succ_indices
+            )
+        )
 
     def __hash__(self) -> int:
-        return hash((self._n, self._edges))
+        return hash(
+            (
+                self._n,
+                self._csr.succ_indptr.tobytes(),
+                self._csr.succ_indices.tobytes(),
+            )
+        )
 
     def __repr__(self) -> str:
         return f"Dag(n_nodes={self._n}, n_edges={self.n_edges})"

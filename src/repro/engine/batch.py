@@ -9,7 +9,12 @@ without letting one bad instance poison the run.  This module provides:
   ``concurrent.futures.ProcessPoolExecutor`` (or fully in-process when
   ``workers <= 1``), preserving input order, for **any** registered
   strategy combination (:mod:`repro.pipeline`); :func:`jz_schedule_many`
-  is the JZ-pinned convenience wrapper;
+  is the JZ-pinned convenience wrapper.  Instances are submitted to the
+  pool in *chunks* so per-future scheduling and pickling overhead is
+  amortized across several solves (the ``chunksize`` knob, auto-sized by
+  default) — and instance serialization itself ships the DAG as its two
+  CSR arrays (see ``repro.dag.Dag.__reduce__``), pickled once per
+  instance;
 * :class:`BatchRecord` — one instance's outcome: either the report
   numbers of a successful run (makespan, certified lower bound, proven
   ratio bound, observed ratio, strategy names and parameters) or an
@@ -133,6 +138,16 @@ class BatchResult:
         }
 
 
+def _solve_chunk(payloads) -> List[Dict[str, Any]]:
+    """Worker body for a chunk of instances: one future, many solves.
+
+    Module-level so it pickles under every multiprocessing start method.
+    Failure isolation stays per-instance: :func:`_solve_one` never
+    raises, so one bad instance cannot poison its chunk-mates.
+    """
+    return [_solve_one(p) for p in payloads]
+
+
 def _solve_one(payload) -> Dict[str, Any]:
     """Worker body: solve one instance, never raise.
 
@@ -232,8 +247,17 @@ class BatchRunner:
         (ablation sweeps).
     lp_backend:
         LP backend forwarded to LP-based allotment stages.
+    chunksize:
+        Instances submitted per pool future.  ``None`` (default) picks
+        ``ceil(len(instances) / (4 * workers))`` capped to 32 — enough
+        chunks for load balancing, few enough that pool scheduling and
+        result pickling stop dominating small solves (the 2-worker
+        regression visible in earlier BENCH_engine runs).  Ignored for
+        in-process execution.
     max_pending:
-        Cap on in-flight futures; bounds memory on huge batches.
+        Cap on in-flight *instances* (chunk futures are throttled to
+        ``max(1, max_pending // chunksize)``); bounds memory on huge
+        batches.
     use_pool:
         ``None`` (default) spawns a pool only when ``workers > 1``;
         ``True`` forces a pool even for one worker (pool-to-pool scaling
@@ -246,6 +270,7 @@ class BatchRunner:
     rho: Optional[float] = None
     mu: Optional[int] = None
     lp_backend: str = "auto"
+    chunksize: Optional[int] = None
     max_pending: int = field(default=256)
     use_pool: Optional[bool] = None
 
@@ -256,6 +281,16 @@ class BatchRunner:
         if self.workers < 0:
             raise ValueError(f"workers must be >= 0, got {self.workers}")
         return self.workers
+
+    def resolved_chunksize(self, n_payloads: int, workers: int) -> int:
+        """The effective chunk size for ``n_payloads`` instances."""
+        if self.chunksize is not None:
+            if self.chunksize < 1:
+                raise ValueError(
+                    f"chunksize must be >= 1, got {self.chunksize}"
+                )
+            return self.chunksize
+        return max(1, min(32, -(-n_payloads // (4 * max(1, workers)))))
 
     def run(self, instances: Sequence[Instance]) -> BatchResult:
         """Solve every instance; returns records in input order.
@@ -293,6 +328,7 @@ class BatchRunner:
         )
         if pooled:
             raw = self._run_pool(payloads, max(1, workers))
+            raw = [r for chunk in raw for r in chunk]
         else:
             raw = [_solve_one(p) for p in payloads]
         records = tuple(
@@ -304,37 +340,49 @@ class BatchRunner:
             wall_time=time.perf_counter() - t0,
         )
 
-    def _run_pool(self, payloads, workers: int) -> List[Dict[str, Any]]:
-        raw: List[Dict[str, Any]] = []
-        todo = list(reversed(payloads))
+    def _run_pool(
+        self, payloads, workers: int
+    ) -> List[List[Dict[str, Any]]]:
+        raw: List[List[Dict[str, Any]]] = []
+        size = self.resolved_chunksize(len(payloads), workers)
+        chunks = [
+            payloads[k:k + size] for k in range(0, len(payloads), size)
+        ]
+        todo = list(reversed(chunks))
+        pending_cap = max(1, self.max_pending // size)
         with ProcessPoolExecutor(max_workers=workers) as pool:
             pending = {}
             while todo or pending:
-                while todo and len(pending) < self.max_pending:
-                    payload = todo.pop()
+                while todo and len(pending) < pending_cap:
+                    chunk = todo.pop()
                     try:
-                        fut = pool.submit(_solve_one, payload)
+                        fut = pool.submit(_solve_chunk, chunk)
                     except Exception as exc:
                         # e.g. a broken pool: record, don't crash the run.
-                        raw.append(_pool_error_record(payload, exc))
+                        raw.append(
+                            [_pool_error_record(p, exc) for p in chunk]
+                        )
                         continue
-                    pending[fut] = payload
+                    pending[fut] = chunk
                 if not pending:
                     continue
                 done, _ = wait(pending, return_when=FIRST_COMPLETED)
                 for fut in done:
-                    payload = pending.pop(fut)
+                    chunk = pending.pop(fut)
                     exc = fut.exception()
                     if exc is None:
                         raw.append(fut.result())
                     else:
                         # Pool-level failure: unpicklable payload, or a
                         # worker process that died (segfault, OOM kill,
-                        # BrokenProcessPool).  Record the error rather
-                        # than re-running the payload in this process —
-                        # a crash-inducing instance must never be given
-                        # a chance to take the parent down with it.
-                        raw.append(_pool_error_record(payload, exc))
+                        # BrokenProcessPool).  Record the error for every
+                        # instance of the chunk rather than re-running any
+                        # of it in this process — a crash-inducing
+                        # instance must never be given a chance to take
+                        # the parent down with it.
+                        raw.append(
+                            [_pool_error_record(p, exc) for p in chunk]
+                        )
         return raw
 
 
@@ -346,13 +394,14 @@ def solve_many(
     rho: Optional[float] = None,
     mu: Optional[int] = None,
     lp_backend: str = "auto",
+    chunksize: Optional[int] = None,
 ) -> BatchResult:
     """Solve a batch of instances with any registered strategy pair.
 
     Thin convenience wrapper over :class:`BatchRunner`; see its docs.
     Records are bit-identical to solving each instance sequentially
     through :class:`repro.pipeline.SchedulingPipeline`, for any
-    ``workers`` value.
+    ``workers`` and ``chunksize`` value.
     """
     return BatchRunner(
         workers=workers,
@@ -361,6 +410,7 @@ def solve_many(
         rho=rho,
         mu=mu,
         lp_backend=lp_backend,
+        chunksize=chunksize,
     ).run(instances)
 
 

@@ -18,7 +18,7 @@ linear constraints with senses ``<=``, ``>=`` or ``==``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 __all__ = ["LinearProgram", "LpSolution", "LpStatus", "LpError"]
 
@@ -51,6 +51,11 @@ class LpSolution:
         Which solver produced the solution (``"simplex"`` or ``"scipy"``).
     iterations:
         Pivot/iteration count reported by the backend (0 if unknown).
+    basis:
+        Final basis (one standard-form column index per row) when the
+        backend exposes one — the built-in simplex does, and accepts it
+        back as a warm start for a re-solve of a structurally identical
+        model (see :func:`repro.lpsolve.simplex.solve_with_simplex`).
     """
 
     status: str
@@ -58,6 +63,7 @@ class LpSolution:
     values: Tuple[float, ...]
     backend: str
     iterations: int = 0
+    basis: Optional[Tuple[int, ...]] = None
 
     def __getitem__(self, var: int) -> float:
         return self.values[var]

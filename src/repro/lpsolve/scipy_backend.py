@@ -22,7 +22,7 @@ except ImportError as _exc:  # pragma: no cover
 
 from .model import LinearProgram, LpError, LpSolution, LpStatus
 
-__all__ = ["solve_with_scipy", "solve_ub_arrays"]
+__all__ = ["build_ub_matrix", "solve_with_scipy", "solve_ub_arrays"]
 
 
 def _solution_from_linprog(res) -> LpSolution:
@@ -42,22 +42,30 @@ def _solution_from_linprog(res) -> LpSolution:
     )
 
 
-def solve_ub_arrays(arrays) -> LpSolution:
+def build_ub_matrix(arrays):
+    """The ``scipy.sparse.csr_matrix`` of a pre-assembled LP's COO
+    triplets (``None`` for a constraint-free model).  Split out so warm
+    re-solvers (the deadline binary search) can build it once and reuse
+    it across probes that only change bounds or right-hand sides."""
+    if not len(arrays.b_ub):
+        return None
+    return _csr(
+        (arrays.vals, (arrays.rows, arrays.cols)),
+        shape=(len(arrays.b_ub), arrays.n_variables),
+    )
+
+
+def solve_ub_arrays(arrays, A_ub=None) -> LpSolution:
     """Solve a pre-assembled ``A_ub v <= b_ub`` LP with HiGHS.
 
     ``arrays`` is an :class:`repro.core.lp.AllotmentArrays`-shaped tuple
     (COO triplets plus objective and bounds) produced by bulk NumPy
-    assembly — no per-constraint Python conversion happens here.
+    assembly — no per-constraint Python conversion happens here.  Pass a
+    prebuilt ``A_ub`` (from :func:`build_ub_matrix`) to skip even the
+    sparse-matrix construction on repeated solves.
     """
-    n = arrays.n_variables
-    A_ub = (
-        _csr(
-            (arrays.vals, (arrays.rows, arrays.cols)),
-            shape=(len(arrays.b_ub), n),
-        )
-        if len(arrays.b_ub)
-        else None
-    )
+    if A_ub is None:
+        A_ub = build_ub_matrix(arrays)
     res = _linprog(
         arrays.c,
         A_ub=A_ub,

@@ -24,7 +24,7 @@ SciPy/HiGHS backend takes over for large sweeps (see
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -36,12 +36,23 @@ _TOL = 1e-9
 
 
 def solve_with_simplex(
-    lp: LinearProgram, max_iterations: int = 0
+    lp: LinearProgram,
+    max_iterations: int = 0,
+    warm_basis: Optional[Sequence[int]] = None,
 ) -> LpSolution:
     """Solve ``lp`` with the built-in two-phase simplex.
 
     ``max_iterations`` of 0 picks a generous default proportional to the
     tableau size.  Raises :class:`LpError` on infeasibility/unboundedness.
+
+    ``warm_basis`` is the ``basis`` of a previous :class:`LpSolution` for
+    a *structurally identical* model (same variables, same constraint
+    rows and senses; only objective, bounds or right-hand sides changed —
+    the deadline re-solves of :mod:`repro.core.allotment_bsearch` are the
+    motivating case).  When the old basis is still primal feasible for
+    the new data, phase 1 is skipped entirely and phase 2 starts from the
+    previous vertex; when it is not (or the shapes do not match), the
+    solver silently falls back to the cold two-phase start.
     """
     n = lp.n_variables
     obj = np.asarray(lp.objective_coefficients, dtype=float)
@@ -178,6 +189,52 @@ def solve_with_simplex(
                 stall = 0
             last_obj = proxy
 
+    # --- warm start --------------------------------------------------------
+    # With a still-feasible basis from a previous solve of the same row
+    # structure, recanonicalize (B^{-1} A, B^{-1} b) and go straight to
+    # phase 2; any failure falls through to the cold two-phase start.
+    if warm_basis is not None and len(warm_basis) == m_rows and m_rows:
+        wb = list(int(k) for k in warm_basis)
+        if min(wb) >= 0 and max(wb) < total:
+            B = A[:, wb]
+            try:
+                sol_b = np.linalg.solve(B, b)
+                tab = np.linalg.solve(B, A)
+            except np.linalg.LinAlgError:
+                sol_b = None
+            scale = 1e-9 * (1.0 + float(np.abs(b).max(initial=0.0)))
+            if (
+                sol_b is not None
+                and np.isfinite(tab).all()
+                and bool(np.all(sol_b >= -scale))
+            ):
+                tab_b = np.maximum(sol_b, 0.0)
+                basis = wb
+                cost2 = np.zeros(n_cols)
+                cost2[:n] = obj
+                if n_art:
+                    cost2[total:] = 1e12
+                for i in range(m_rows):
+                    j = basis[i]
+                    if abs(cost2[j]) > 0:
+                        cost2 -= cost2[j] * tab[i]
+                status = pivot(tab, tab_b, cost2, basis)
+                if status == LpStatus.UNBOUNDED:
+                    raise LpError(LpStatus.UNBOUNDED)
+                z = np.zeros(n_cols)
+                for i in range(m_rows):
+                    if basis[i] >= 0:
+                        z[basis[i]] = tab_b[i]
+                x = z[:n] + lo
+                return LpSolution(
+                    status=LpStatus.OPTIMAL,
+                    objective=float(np.dot(obj, x)),
+                    values=tuple(float(v) for v in x),
+                    backend="simplex",
+                    iterations=iters,
+                    basis=tuple(basis),
+                )
+
     # --- phase 1 -----------------------------------------------------------
     tab_A = A.copy()
     tab_b = b.copy()
@@ -241,4 +298,5 @@ def solve_with_simplex(
         values=tuple(float(v) for v in x),
         backend="simplex",
         iterations=iters,
+        basis=tuple(basis),
     )

@@ -86,7 +86,8 @@ def jz_strategy(
     "bsearch",
     summary=(
         "deadline-LP binary search over d of max(d, W(d)/m) ([18]'s "
-        "phase 1 the paper avoids), then JZ rounding and mu cap"
+        "phase 1 the paper avoids), warm-started re-solves, then JZ "
+        "rounding and mu cap"
     ),
 )
 def bsearch_strategy(
@@ -96,7 +97,11 @@ def bsearch_strategy(
     mu: Optional[int] = None,
     lp_backend: str = "auto",
 ) -> AllotmentResult:
-    """Binary-search phase 1; costs one LP solve per search step."""
+    """Binary-search phase 1; one LP solve per search step, each probe
+    warm-started from the previous one (the matrix is assembled once and
+    only the deadline bounds move; the built-in simplex additionally
+    reuses the previous basis — see
+    :mod:`repro.core.allotment_bsearch`)."""
     params = resolve_parameters(instance.m, rho=rho, mu=mu)
     report = bsearch_allotment(instance, params.rho, backend=lp_backend)
     # The search's best objective is an estimate, not a certified lower
@@ -110,6 +115,7 @@ def bsearch_strategy(
             "deadline": report.deadline,
             "objective": report.objective,
             "lp_solves": report.lp_solves,
+            "warm_started": True,
         },
     )
 

@@ -10,7 +10,7 @@ from .metrics import (
 )
 from .schedule import Schedule, ScheduledTask
 from .simulator import SimulationEvent, SimulationTrace, simulate
-from .timeline import ResourceTimeline
+from .timeline import ArrayTimeline, ResourceTimeline
 from .validator import (
     InfeasibleScheduleError,
     assert_feasible,
@@ -18,6 +18,7 @@ from .validator import (
 )
 
 __all__ = [
+    "ArrayTimeline",
     "InfeasibleScheduleError",
     "ResourceTimeline",
     "Schedule",

@@ -313,3 +313,44 @@ class TestCliBatch:
         err = capsys.readouterr().err
         assert "unknown allotment strategy 'wat'" in err
         assert "jz" in err  # the message lists what is registered
+
+
+class TestChunkedSubmission:
+    @pytest.mark.parametrize("chunksize", [1, 2, 5, 100])
+    def test_chunked_records_identical_to_sequential(self, chunksize):
+        instances = _instances(5)
+        seq = BatchRunner(workers=0).run(instances)
+        pooled = BatchRunner(
+            workers=2, use_pool=True, chunksize=chunksize
+        ).run(instances)
+        assert pooled.n_errors == 0
+        assert [r.index for r in pooled.records] == [0, 1, 2, 3, 4]
+        assert [r.makespan for r in pooled.records] == [
+            r.makespan for r in seq.records
+        ]
+        assert [r.lower_bound for r in pooled.records] == [
+            r.lower_bound for r in seq.records
+        ]
+
+    def test_bad_instance_isolated_within_chunk(self):
+        instances = _instances(4)
+        instances[2] = object()  # unsolvable chunk-mate
+        res = BatchRunner(
+            workers=2, use_pool=True, chunksize=4
+        ).run(instances)
+        assert res.n_errors == 1
+        assert not res.records[2].ok
+        assert all(
+            res.records[k].ok for k in (0, 1, 3)
+        ), res.errors()
+
+    def test_auto_chunksize_scales_with_batch(self):
+        runner = BatchRunner(workers=2)
+        assert runner.resolved_chunksize(4, 2) == 1
+        assert runner.resolved_chunksize(64, 2) == 8
+        assert runner.resolved_chunksize(10_000, 2) == 32
+        assert BatchRunner(workers=2, chunksize=7).resolved_chunksize(
+            100, 2
+        ) == 7
+        with pytest.raises(ValueError):
+            BatchRunner(workers=2, chunksize=0).resolved_chunksize(8, 2)
