@@ -1,0 +1,364 @@
+#!/usr/bin/env python
+"""Load-generator benchmark for the scheduling service.
+
+Boots the daemon (:mod:`repro.service`) on a background thread, fires
+solve requests at it through the real TCP client at a given
+concurrency, and measures throughput and latency percentiles for three
+traffic shapes per concurrency level:
+
+* **cold**  — every request is a distinct instance (all cache misses);
+* **warm**  — the same requests replayed (all cache hits);
+* **mixed** — fresh instances, each requested twice, shuffled
+  (~50% hit ratio with single-flight dedup absorbing collisions).
+
+Every response is then validated: the served schedule must be
+validator-clean, its makespan must be ≥ the certified lower bound it
+shipped with, and schedule + makespan must be **bit-identical** to a
+direct :class:`repro.pipeline.SchedulingPipeline` solve of the same
+instance/strategy in this process.  The run *fails* (exit 1) if any
+response violates this or if the warm-cache throughput is below
+``--speedup-floor`` × the cold-solve throughput at concurrency 8.
+
+Usage::
+
+    python benchmarks/bench_service.py --output BENCH_service.json
+    python benchmarks/bench_service.py --smoke   # CI: 50 requests
+
+The smoke profile is the CI ``service-smoke`` job: one daemon,
+concurrency 8, 25 unique instances solved cold then replayed warm —
+50 mixed cached/uncached requests, all validated.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import queue
+import random
+import sys
+import threading
+import time
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.core.instance import Instance
+from repro.io import schedule_from_dict, schedule_to_dict
+from repro.pipeline import SchedulingPipeline
+from repro.schedule import validate_schedule
+from repro.service import ServiceClient, serve_in_thread
+from repro.workloads import make_instance
+
+SCHEMA = "bench-service-v1"
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100])."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1, round(q / 100 * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+def fire(
+    port: int,
+    requests: Sequence[Tuple[int, Instance]],
+    concurrency: int,
+) -> Tuple[List[Dict[str, Any]], List[float], float]:
+    """Send ``requests`` (id, instance) through ``concurrency`` client
+    threads; returns (replies keyed by request position, latencies,
+    wall time)."""
+    work: "queue.SimpleQueue[int]" = queue.SimpleQueue()
+    for pos in range(len(requests)):
+        work.put(pos)
+    replies: List[Dict[str, Any]] = [None] * len(requests)  # type: ignore
+    latencies: List[float] = [0.0] * len(requests)
+    errors: List[BaseException] = []
+
+    def worker() -> None:
+        with ServiceClient(port=port) as client:
+            while True:
+                try:
+                    pos = work.get_nowait()
+                except queue.Empty:
+                    return
+                t0 = time.perf_counter()
+                try:
+                    replies[pos] = client.solve(requests[pos][1])
+                except BaseException as exc:  # surfaced after the join
+                    errors.append(exc)
+                    return
+                latencies[pos] = time.perf_counter() - t0
+
+    threads = [
+        threading.Thread(target=worker) for _ in range(concurrency)
+    ]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - t0
+    if errors:
+        raise RuntimeError(f"load generator failed: {errors[0]!r}")
+    return replies, latencies, wall
+
+
+def phase_summary(
+    label: str,
+    replies: Sequence[Dict[str, Any]],
+    latencies: Sequence[float],
+    wall: float,
+    concurrency: int,
+) -> Dict[str, Any]:
+    n = len(replies)
+    return {
+        "phase": label,
+        "requests": n,
+        "concurrency": concurrency,
+        "wall_time": wall,
+        "throughput": n / wall if wall > 0 else 0.0,
+        "latency_p50": percentile(latencies, 50),
+        "latency_p99": percentile(latencies, 99),
+        "cached": sum(1 for r in replies if r.get("cached")),
+        "deduped": sum(1 for r in replies if r.get("deduped")),
+        "solve_wall_time_mean": (
+            sum(r.get("solve_wall_time") or 0.0 for r in replies) / n
+            if n
+            else 0.0
+        ),
+    }
+
+
+def validate_replies(
+    pairs: Sequence[Tuple[Instance, Dict[str, Any]]],
+) -> Dict[str, Any]:
+    """Check every (instance, reply) pair against the service contract.
+
+    Direct pipeline solves are computed once per distinct instance and
+    compared bit-exactly; any violation raises ``AssertionError``.
+    """
+    refs: Dict[str, Dict[str, Any]] = {}
+    checked = 0
+    for inst, reply in pairs:
+        key = inst.content_key()
+        ref = refs.get(key)
+        if ref is None:
+            report = SchedulingPipeline("jz", "earliest-start").solve(inst)
+            ref = {
+                "makespan": report.makespan,
+                "lower_bound": report.lower_bound,
+                "schedule": schedule_to_dict(report.schedule),
+            }
+            refs[key] = ref
+        assert reply["status"] == "ok", reply
+        assert reply["instance_key"] == key
+        assert reply["makespan"] == ref["makespan"], (
+            f"makespan not bit-identical: {reply['makespan']} "
+            f"!= {ref['makespan']}"
+        )
+        assert reply["schedule"] == ref["schedule"], (
+            "served schedule differs from the direct pipeline solve"
+        )
+        assert reply["lower_bound"] == ref["lower_bound"]
+        assert reply["makespan"] >= reply["lower_bound"], (
+            "makespan below the certified lower bound"
+        )
+        sched = schedule_from_dict(reply["schedule"])
+        violations = validate_schedule(inst, sched)
+        assert violations == [], violations
+        checked += 1
+    return {
+        "responses_checked": checked,
+        "unique_instances": len(refs),
+        "all_bit_identical": True,
+        "all_validator_clean": True,
+        "makespan_ge_lower_bound": True,
+    }
+
+
+def bench_concurrency(
+    concurrency: int,
+    n_unique: int,
+    size: int,
+    m: int,
+    workers: int,
+    seed0: int,
+) -> Tuple[Dict[str, Any], List[Tuple[Instance, Dict[str, Any]]]]:
+    """One daemon, three phases at a fixed concurrency level."""
+    uniques = [
+        make_instance("layered", size, m, model="power", seed=seed0 + k)
+        for k in range(n_unique)
+    ]
+    # Prime content keys so client-side hashing is not on the clock.
+    for inst in uniques:
+        inst.content_key()
+    cold_reqs = [(k, inst) for k, inst in enumerate(uniques)]
+
+    mixed_uniques = [
+        make_instance(
+            "layered", size, m, model="power",
+            seed=seed0 + 10_000 + k,
+        )
+        for k in range(max(1, n_unique // 2))
+    ]
+    mixed_reqs = [
+        (k, inst) for k, inst in enumerate(mixed_uniques) for _ in (0, 1)
+    ]
+    random.Random(seed0).shuffle(mixed_reqs)
+
+    pairs: List[Tuple[Instance, Dict[str, Any]]] = []
+    with serve_in_thread(workers=workers) as handle:
+        phases = {}
+        for label, reqs in (
+            ("cold", cold_reqs),
+            ("warm", cold_reqs),
+            ("mixed", mixed_reqs),
+        ):
+            replies, latencies, wall = fire(
+                handle.port, reqs, concurrency
+            )
+            phases[label] = phase_summary(
+                label, replies, latencies, wall, concurrency
+            )
+            pairs.extend(
+                (inst, reply)
+                for (_, inst), reply in zip(reqs, replies)
+            )
+        stats = handle.service.stats()
+
+    warm, cold = phases["warm"], phases["cold"]
+    assert warm["cached"] == warm["requests"], (
+        "warm phase must be all cache hits"
+    )
+    assert cold["cached"] == 0, "cold phase must be all misses"
+    cell = {
+        "concurrency": concurrency,
+        "phases": phases,
+        "speedup_warm_over_cold": (
+            warm["throughput"] / cold["throughput"]
+            if cold["throughput"] > 0
+            else float("inf")
+        ),
+        "daemon_stats": stats,
+    }
+    return cell, pairs
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--smoke", action="store_true",
+        help="CI profile: concurrency 8 only, 25 unique instances "
+             "(50 cold+warm requests), smaller mixed phase",
+    )
+    ap.add_argument("--output", default="BENCH_service.json")
+    ap.add_argument(
+        "--unique", type=int, default=None,
+        help="distinct instances per concurrency level "
+             "(default: 40, smoke: 25)",
+    )
+    ap.add_argument("--size", type=int, default=200)
+    ap.add_argument("-m", "--processors", type=int, default=16)
+    ap.add_argument(
+        "-w", "--workers", type=int, default=1,
+        help="daemon solver processes (default: 1; 0 = in-process)",
+    )
+    ap.add_argument(
+        "--concurrency", type=int, nargs="*", default=None,
+        help="client concurrency levels (default: 1 8, smoke: 8)",
+    )
+    ap.add_argument(
+        "--speedup-floor", type=float, default=5.0,
+        help="required warm/cold throughput ratio at concurrency 8",
+    )
+    args = ap.parse_args(argv)
+
+    n_unique = args.unique if args.unique is not None else (
+        25 if args.smoke else 40
+    )
+    levels = args.concurrency if args.concurrency else (
+        [8] if args.smoke else [1, 8]
+    )
+
+    cells = []
+    all_pairs: List[Tuple[Instance, Dict[str, Any]]] = []
+    for level in levels:
+        print(
+            f"[bench_service] concurrency={level}: "
+            f"{n_unique} unique instances "
+            f"(size={args.size}, m={args.processors}, "
+            f"workers={args.workers})",
+            file=sys.stderr,
+        )
+        cell, pairs = bench_concurrency(
+            level, n_unique, args.size, args.processors,
+            args.workers, seed0=1000 * level,
+        )
+        cells.append(cell)
+        all_pairs.extend(pairs)
+        for label, ph in cell["phases"].items():
+            print(
+                f"  {label:<5} {ph['requests']:>4} req  "
+                f"{ph['throughput']:8.1f} req/s  "
+                f"p50 {ph['latency_p50'] * 1000:7.2f} ms  "
+                f"p99 {ph['latency_p99'] * 1000:7.2f} ms  "
+                f"cached {ph['cached']}/{ph['requests']}",
+                file=sys.stderr,
+            )
+        print(
+            f"  warm/cold speedup: "
+            f"{cell['speedup_warm_over_cold']:.1f}x",
+            file=sys.stderr,
+        )
+
+    print(
+        f"[bench_service] validating {len(all_pairs)} responses "
+        "against direct pipeline solves",
+        file=sys.stderr,
+    )
+    validation = validate_replies(all_pairs)
+
+    gate_cells = [c for c in cells if c["concurrency"] == 8] or cells
+    gate = min(c["speedup_warm_over_cold"] for c in gate_cells)
+    passed = gate >= args.speedup_floor
+    result = {
+        "schema": SCHEMA,
+        "smoke": args.smoke,
+        "config": {
+            "unique_instances": n_unique,
+            "size": args.size,
+            "m": args.processors,
+            "workers": args.workers,
+            "concurrency_levels": levels,
+            "cpu_count": os.cpu_count(),
+            "python": sys.version.split()[0],
+        },
+        "cells": cells,
+        "validation": validation,
+        "gate": {
+            "speedup_floor": args.speedup_floor,
+            "speedup_at_concurrency_8": gate,
+            "passed": passed,
+        },
+    }
+    with open(args.output, "w") as fh:
+        json.dump(result, fh, indent=2)
+    print(f"[bench_service] wrote {args.output}", file=sys.stderr)
+    if not passed:
+        print(
+            f"[bench_service] FAIL: warm/cold speedup {gate:.2f}x "
+            f"below the {args.speedup_floor}x floor",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"[bench_service] OK: speedup {gate:.1f}x >= "
+        f"{args.speedup_floor}x, all responses validated",
+        file=sys.stderr,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

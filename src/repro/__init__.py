@@ -51,6 +51,24 @@ returns makespans and certificate bounds bit-identical to the sequential
 path for any worker count — for *any* registered strategy combination.
 ``python -m repro batch --algorithm NAME --priority RULE`` exposes the
 same engine on the command line with schema-versioned JSON-lines output.
+
+Service API (:mod:`repro.service`) — the resident solver daemon::
+
+    from repro.service import ServiceClient, serve_in_thread
+
+    with serve_in_thread(workers=4) as handle:          # or: repro serve
+        with ServiceClient(port=handle.port) as client:
+            reply = client.solve(instance, algorithm="jz")
+            reply["makespan"], reply["cached"], reply["schedule"]
+
+Solve requests are keyed by the instance's *content fingerprint*
+(:meth:`Instance.content_key`): repeated and concurrent identical
+requests are served from a counted LRU result cache (optional disk
+spill) or collapsed into a single in-flight solve, and misses run on
+the batch engine's persistent process pool — every served schedule is
+bit-identical to a direct ``SchedulingPipeline`` solve.
+(:mod:`repro.service` is not imported here to keep ``import repro``
+lean; import it explicitly.)
 """
 
 from .core import (
@@ -91,7 +109,7 @@ from .schedule import (
     validate_schedule,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AssumptionError",

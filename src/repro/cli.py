@@ -13,10 +13,13 @@
 * ``validate``   — check a schedule JSON against an instance JSON.
 * ``batch``      — solve many instance JSON files (or a generated sweep)
   on a process pool via :mod:`repro.engine`, writing JSON-lines results.
+* ``serve``      — run the scheduling daemon (:mod:`repro.service`):
+  async solve broker + content-addressed result cache over local HTTP.
 
-``solve``, ``demo`` and ``batch`` all accept ``--algorithm`` (allotment
-strategy) and ``--priority`` (phase-2 rule); ``strategies`` lists the
-valid names.
+``solve``, ``demo``, ``batch`` and ``serve`` all accept ``--algorithm``
+(allotment strategy) and ``--priority`` (phase-2 rule); ``strategies``
+lists the valid names.  ``repro-sched --version`` prints the package
+version.
 """
 
 from __future__ import annotations
@@ -47,6 +50,16 @@ examples:
 
 `repro-sched strategies` lists every registered --algorithm and
 --priority name.
+"""
+
+_SERVE_EPILOG = """\
+examples:
+  %(prog)s                          # 127.0.0.1:8705, auto workers
+  %(prog)s --port 0 -w 4            # ephemeral port, 4 solver processes
+  %(prog)s --cache-size 4096 --spill-dir /var/tmp/repro-cache
+
+endpoints: POST /solve  GET /stats  GET /healthz  POST /shutdown
+client:    python -c "from repro.service import ServiceClient; ..."
 """
 
 
@@ -82,12 +95,18 @@ def _add_strategy_options(sub: argparse.ArgumentParser) -> None:
 
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for testing)."""
+    from . import __version__
+
     p = argparse.ArgumentParser(
         prog="repro-sched",
         description=(
             "Scheduling malleable tasks with precedence constraints "
             "(Jansen & Zhang, SPAA 2005) — reproduction toolkit"
         ),
+    )
+    p.add_argument(
+        "--version", action="version",
+        version=f"%(prog)s {__version__}",
     )
     sub = p.add_subparsers(dest="command", required=True)
 
@@ -174,6 +193,40 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--model", default="power")
     b.add_argument("--seed", type=int, default=0)
     _add_strategy_options(b)
+
+    sv = sub.add_parser(
+        "serve",
+        help="run the scheduling daemon (solve broker + result cache)",
+        epilog=_SERVE_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sv.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default: 127.0.0.1 — local only)",
+    )
+    sv.add_argument(
+        "--port", type=int, default=8705,
+        help="TCP port (default: 8705; 0 = pick an ephemeral port)",
+    )
+    sv.add_argument(
+        "-w", "--workers", type=_workers_arg, default=None,
+        help=(
+            "solver process count, or 'auto' for the machine's cpu "
+            "count (default: auto; 0 = solve in-process)"
+        ),
+    )
+    sv.add_argument(
+        "--cache-size", type=int, default=1024, metavar="N",
+        help="in-memory result-cache entries (default: 1024)",
+    )
+    sv.add_argument(
+        "--spill-dir", default=None, metavar="DIR",
+        help=(
+            "spill evicted cache entries to this directory as JSON "
+            "(default: no disk tier)"
+        ),
+    )
+    _add_strategy_options(sv)
     return p
 
 
@@ -341,26 +394,8 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0
 
 
-class _Unloadable:
-    """Placeholder for an instance file that failed to load; solving it
-    re-raises the load error so the batch records it as a failure."""
-
-    def __init__(self, path: str, exc: Exception):
-        self.name = path
-        self._exc = exc
-
-    @property
-    def n_tasks(self):
-        raise self._exc
-
-    @property
-    def m(self):
-        raise self._exc
-
-
 def _cmd_batch(args: argparse.Namespace) -> int:
     from .engine import BatchRunner, write_jsonl
-    from .io import load_instance
     from .pipeline import UnknownStrategyError
 
     if args.generate and args.instances:
@@ -381,15 +416,9 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             for k in range(args.count)
         ]
     elif args.instances:
-        # Isolate unloadable files the same way the engine isolates
-        # failing instances: a placeholder that yields an error record.
-        instances = []
-        for p in args.instances:
-            try:
-                instances.append(load_instance(p))
-            except Exception as exc:
-                print(f"batch: cannot load {p}: {exc}", file=sys.stderr)
-                instances.append(_Unloadable(p, exc))
+        # Paths go to the engine as-is: workers load them, and an
+        # unreadable file yields an isolated error record.
+        instances = list(args.instances)
     else:
         print(
             "batch: pass instance JSON files or --generate FAMILY",
@@ -432,6 +461,49 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0 if result.n_errors == 0 else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .pipeline import UnknownStrategyError
+    from .service import SolverService
+
+    try:
+        service = SolverService(
+            workers=args.workers,
+            cache_capacity=args.cache_size,
+            spill_dir=args.spill_dir,
+            algorithm=args.algorithm,
+            priority=args.priority,
+        )
+    except (UnknownStrategyError, ValueError) as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+
+    async def _run() -> None:
+        try:
+            await service.start(args.host, args.port)
+        except OSError as exc:  # port in use, bad address
+            print(f"serve: cannot bind {args.host}:{args.port}: {exc}",
+                  file=sys.stderr)
+            raise SystemExit(2) from None
+        print(
+            f"serving on http://{service.host}:{service.port} "
+            f"(workers={service.workers}, "
+            f"cache={service.cache.capacity}, "
+            f"default={service.algorithm}x{service.priority})",
+            file=sys.stderr,
+        )
+        await service.serve_forever()
+
+    try:
+        asyncio.run(_run())
+    except SystemExit as exc:  # bind failure inside the coroutine
+        return int(exc.code or 0)
+    except KeyboardInterrupt:
+        print("serve: interrupted, shutting down", file=sys.stderr)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -444,6 +516,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "generate": _cmd_generate,
         "validate": _cmd_validate,
         "batch": _cmd_batch,
+        "serve": _cmd_serve,
     }[args.command]
     return handler(args)
 

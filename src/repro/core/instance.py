@@ -36,7 +36,9 @@ class Instance:
 
     # __weakref__ lets per-instance caches (e.g. the bottom-level memo in
     # repro.core.list_variants) key on the instance without pinning it.
-    __slots__ = ("_tasks", "_dag", "_m", "_name", "__weakref__")
+    __slots__ = (
+        "_tasks", "_dag", "_m", "_name", "_content_key", "__weakref__"
+    )
 
     def __init__(
         self,
@@ -61,6 +63,7 @@ class Instance:
         self._dag = dag
         self._m = int(m)
         self._name = name
+        self._content_key: Optional[str] = None
 
     # ------------------------------------------------------------------
     # constructors
@@ -111,6 +114,21 @@ class Instance:
     def task(self, j: int) -> MalleableTask:
         """Task ``J_j``."""
         return self._tasks[j]
+
+    def content_key(self) -> str:
+        """Canonical content hash of ``(m, times matrix, CSR edges)``.
+
+        The cache key of the service layer: equal for equal content no
+        matter how the instance was built or serialized, different when
+        any processing time, arc or the machine count differs.  Names
+        are display labels and do not participate.  Memoized — the
+        instance is immutable.  See :mod:`repro.core.fingerprint`.
+        """
+        if self._content_key is None:
+            from .fingerprint import instance_content_key
+
+            self._content_key = instance_content_key(self)
+        return self._content_key
 
     # ------------------------------------------------------------------
     # instance-level quantities used by the analysis

@@ -17,6 +17,7 @@ subcommand uses.
 
 from .batch import (
     SCHEMA_VERSION,
+    BatchItem,
     BatchRecord,
     BatchResult,
     BatchRunner,
@@ -28,6 +29,7 @@ from .batch import (
 
 __all__ = [
     "SCHEMA_VERSION",
+    "BatchItem",
     "BatchRecord",
     "BatchResult",
     "BatchRunner",

@@ -9,12 +9,17 @@ without letting one bad instance poison the run.  This module provides:
   ``concurrent.futures.ProcessPoolExecutor`` (or fully in-process when
   ``workers <= 1``), preserving input order, for **any** registered
   strategy combination (:mod:`repro.pipeline`); :func:`jz_schedule_many`
-  is the JZ-pinned convenience wrapper.  Instances are submitted to the
-  pool in *chunks* so per-future scheduling and pickling overhead is
-  amortized across several solves (the ``chunksize`` knob, auto-sized by
-  default) — and instance serialization itself ships the DAG as its two
-  CSR arrays (see ``repro.dag.Dag.__reduce__``), pickled once per
-  instance;
+  is the JZ-pinned convenience wrapper.  A batch may mix pre-built
+  :class:`~repro.core.Instance` objects with instance-JSON *paths*;
+  paths are loaded inside the worker (no parent-side read, load
+  failures isolated like solve failures).  Instances are submitted to
+  the pool in *chunks* so per-future scheduling and pickling overhead
+  is amortized across several solves (the ``chunksize`` knob,
+  auto-sized by default) — and instance serialization itself ships the
+  DAG as its two CSR arrays (see ``repro.dag.Dag.__reduce__``), pickled
+  once per instance.  Long-running callers (the service broker of
+  :mod:`repro.service`) can hand :meth:`BatchRunner.run` a persistent
+  ``executor`` so the pool outlives individual batches;
 * :class:`BatchRecord` — one instance's outcome: either the report
   numbers of a successful run (makespan, certified lower bound, proven
   ratio bound, observed ratio, strategy names and parameters) or an
@@ -36,7 +41,12 @@ import os
 import time
 import traceback
 import warnings
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Executor,
+    ProcessPoolExecutor,
+    wait,
+)
 from dataclasses import asdict, dataclass, field, fields
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
@@ -44,7 +54,9 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
 from ..core.instance import Instance
 
 __all__ = [
+    "POOL_FAILURE_PREFIX",
     "SCHEMA_VERSION",
+    "BatchItem",
     "BatchRecord",
     "BatchResult",
     "BatchRunner",
@@ -56,10 +68,22 @@ __all__ = [
 
 _PathLike = Union[str, Path]
 
+#: What a batch accepts per slot: a pre-built instance, or a path to an
+#: instance JSON file (loaded inside the worker).
+BatchItem = Union[Instance, str, Path]
+
+#: Marker prefix of error records produced by a *pool-layer* failure
+#: (worker death, pickling) as opposed to a failure inside the solve.
+#: The service broker keys its replace-broken-pool logic on it — keep
+#: the two in sync through this constant, never a literal.
+POOL_FAILURE_PREFIX = "worker/pool failure"
+
 #: JSONL record schema version.  History:
 #: 1 — PR 1: JZ-only records, no version field (absence == version 1);
 #: 2 — pipeline records: adds ``schema_version``, ``algorithm``,
-#:     ``priority``.
+#:     ``priority``.  The optional ``schedule`` column (present only
+#:     when the runner was asked for it) is an additive version-2
+#:     change: readers ignore unknown fields on a known version.
 SCHEMA_VERSION = 2
 
 
@@ -88,6 +112,10 @@ class BatchRecord:
     mu: Optional[int] = None
     wall_time: Optional[float] = None
     error: Optional[str] = None
+    #: Full schedule (``repro.io`` schedule dict), present only when the
+    #: runner ran with ``include_schedule=True`` — the service layer
+    #: needs the entries, plain batch sweeps only the numbers.
+    schedule: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
@@ -95,8 +123,16 @@ class BatchRecord:
         return self.status == "ok"
 
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-compatible dict (one JSONL line), schema-versioned."""
-        return {"schema_version": SCHEMA_VERSION, **asdict(self)}
+        """JSON-compatible dict (one JSONL line), schema-versioned.
+
+        The ``schedule`` column is omitted when absent so records
+        written by schedule-less runs are byte-compatible with earlier
+        version-2 writers.
+        """
+        d = {"schema_version": SCHEMA_VERSION, **asdict(self)}
+        if d.get("schedule") is None:
+            d.pop("schedule", None)
+        return d
 
 
 @dataclass(frozen=True)
@@ -152,24 +188,37 @@ def _solve_one(payload) -> Dict[str, Any]:
     """Worker body: solve one instance, never raise.
 
     Module-level so it pickles under every multiprocessing start method.
-    Returns a plain dict (cheap to pickle back) that :class:`BatchRunner`
-    turns into a :class:`BatchRecord`.
+    The item may be an :class:`Instance` or a path to an instance JSON
+    file — paths are loaded here, in the worker, so a batch of files
+    never serializes instances through the parent and an unreadable
+    file is isolated exactly like a failing solve.  Returns a plain
+    dict (cheap to pickle back) that :class:`BatchRunner` turns into a
+    :class:`BatchRecord`.
     """
-    index, instance, algorithm, priority, rho, mu, lp_backend = payload
+    (index, item, algorithm, priority, rho, mu, lp_backend,
+     include_schedule) = payload
     t0 = time.perf_counter()
+    label = str(item) if isinstance(item, (str, Path)) else None
+    instance = None
     # Exception (not BaseException): KeyboardInterrupt/SystemExit must
     # propagate so in-process batch runs stay interruptible.
     try:
+        if label is not None:
+            from ..io import load_instance
+
+            instance = load_instance(item)
+        else:
+            instance = item
         from ..pipeline import SchedulingPipeline
 
         pipe = SchedulingPipeline(
             algorithm, priority, rho=rho, mu=mu, lp_backend=lp_backend
         )
         rep = pipe.solve(instance)
-        return {
+        rec = {
             "index": index,
             "status": "ok",
-            "name": instance.name,
+            "name": instance.name if instance.name is not None else label,
             "n_tasks": instance.n_tasks,
             "m": instance.m,
             "algorithm": rep.algorithm,
@@ -182,11 +231,17 @@ def _solve_one(payload) -> Dict[str, Any]:
             "mu": rep.mu,
             "wall_time": time.perf_counter() - t0,
         }
+        if include_schedule:
+            from ..io import schedule_to_dict
+
+            rec["schedule"] = schedule_to_dict(rep.schedule)
+        return rec
     except Exception:
+        name = _safe_attr(instance, "name") if instance is not None else None
         return {
             "index": index,
             "status": "error",
-            "name": _safe_attr(instance, "name"),
+            "name": name if name is not None else label,
             "n_tasks": _safe_attr(instance, "n_tasks"),
             "m": _safe_attr(instance, "m"),
             "algorithm": algorithm,
@@ -199,15 +254,21 @@ def _solve_one(payload) -> Dict[str, Any]:
 def _pool_error_record(payload, exc: BaseException) -> Dict[str, Any]:
     """Error record for a failure that happened at the pool layer (worker
     death, pickling) rather than inside the solve itself."""
-    index, instance = payload[0], payload[1]
+    index, item = payload[0], payload[1]
+    if isinstance(item, (str, Path)):
+        name, n_tasks, m = str(item), None, None
+    else:
+        name = _safe_attr(item, "name")
+        n_tasks = _safe_attr(item, "n_tasks")
+        m = _safe_attr(item, "m")
     return {
         "index": index,
         "status": "error",
-        "name": _safe_attr(instance, "name"),
-        "n_tasks": _safe_attr(instance, "n_tasks"),
-        "m": _safe_attr(instance, "m"),
+        "name": name,
+        "n_tasks": n_tasks,
+        "m": m,
         "error": (
-            f"worker/pool failure: {type(exc).__name__}: {exc}\n"
+            f"{POOL_FAILURE_PREFIX}: {type(exc).__name__}: {exc}\n"
             "(the instance was not retried in the parent process)"
         ),
     }
@@ -262,6 +323,12 @@ class BatchRunner:
         ``None`` (default) spawns a pool only when ``workers > 1``;
         ``True`` forces a pool even for one worker (pool-to-pool scaling
         baselines in benchmarks); ``False`` forces in-process execution.
+    include_schedule:
+        When true, successful records carry the full schedule as a
+        ``repro.io`` schedule dict (``record.schedule``) — what the
+        service broker caches and returns to clients.  Off by default:
+        sweep workloads only want the report numbers, and schedules
+        inflate JSONL output.
     """
 
     workers: Optional[int] = None
@@ -273,6 +340,7 @@ class BatchRunner:
     chunksize: Optional[int] = None
     max_pending: int = field(default=256)
     use_pool: Optional[bool] = None
+    include_schedule: bool = False
 
     def resolved_workers(self) -> int:
         """The effective worker count."""
@@ -292,42 +360,61 @@ class BatchRunner:
             return self.chunksize
         return max(1, min(32, -(-n_payloads // (4 * max(1, workers)))))
 
-    def run(self, instances: Sequence[Instance]) -> BatchResult:
-        """Solve every instance; returns records in input order.
+    def run(
+        self,
+        instances: Sequence[BatchItem],
+        *,
+        executor: Optional[Executor] = None,
+    ) -> BatchResult:
+        """Solve every item; returns records in input order.
 
-        Unknown strategy names raise
-        :class:`repro.pipeline.UnknownStrategyError` up front.  A
-        failing instance (bad profile, solver error, unpicklable object,
-        even a crashed worker process) yields an ``"error"`` record and
-        never crashes the run or loses other records.  Exceptions raised
-        *inside* a solve are fully isolated; a worker process that dies
-        outright may additionally error the instances that were in flight
-        on the broken pool — they are recorded as pool failures, never
-        retried in the parent (a crash-inducing instance must not get a
-        second chance there).
+        Items may be pre-built :class:`Instance` objects, paths to
+        instance JSON files, or a mixture; paths are loaded inside the
+        worker (nothing is re-read in the parent).  Unknown strategy
+        names raise :class:`repro.pipeline.UnknownStrategyError` up
+        front.  A failing item (unreadable file, bad profile, solver
+        error, unpicklable object, even a crashed worker process) yields
+        an ``"error"`` record and never crashes the run or loses other
+        records.  Exceptions raised *inside* a solve are fully isolated;
+        a worker process that dies outright may additionally error the
+        instances that were in flight on the broken pool — they are
+        recorded as pool failures, never retried in the parent (a
+        crash-inducing instance must not get a second chance there).
+
+        ``executor`` overrides pool management entirely: the batch runs
+        on the given (process or thread) executor, which is **not** shut
+        down afterwards — long-running callers like the service broker
+        keep one warm pool across many single-instance batches instead
+        of paying pool startup per request.
         """
-        from ..pipeline import get_allotment, get_phase2
+        from ..pipeline import canonical_strategy_pair
 
         # Fail fast on typos — and pin the canonical names into the
         # payloads so records agree across aliases.
-        algorithm = get_allotment(self.algorithm).name
-        priority = get_phase2(self.priority).name
+        algorithm, priority = canonical_strategy_pair(
+            self.algorithm, self.priority
+        )
 
         instances = list(instances)
         workers = self.resolved_workers()
         t0 = time.perf_counter()
         payloads = [
             (i, inst, algorithm, priority, self.rho, self.mu,
-             self.lp_backend)
+             self.lp_backend, self.include_schedule)
             for i, inst in enumerate(instances)
         ]
-        pooled = (
-            workers > 1 and len(instances) > 1
-            if self.use_pool is None
-            else self.use_pool and workers >= 1 and len(instances) > 0
-        )
+        if executor is not None:
+            pooled = len(instances) > 0
+        elif self.use_pool is None:
+            pooled = workers > 1 and len(instances) > 1
+        else:
+            pooled = (
+                self.use_pool and workers >= 1 and len(instances) > 0
+            )
         if pooled:
-            raw = self._run_pool(payloads, max(1, workers))
+            raw = self._run_pool(
+                payloads, max(1, workers), executor=executor
+            )
             raw = [r for chunk in raw for r in chunk]
         else:
             raw = [_solve_one(p) for p in payloads]
@@ -341,53 +428,65 @@ class BatchRunner:
         )
 
     def _run_pool(
-        self, payloads, workers: int
+        self,
+        payloads,
+        workers: int,
+        executor: Optional[Executor] = None,
     ) -> List[List[Dict[str, Any]]]:
-        raw: List[List[Dict[str, Any]]] = []
         size = self.resolved_chunksize(len(payloads), workers)
         chunks = [
             payloads[k:k + size] for k in range(0, len(payloads), size)
         ]
-        todo = list(reversed(chunks))
         pending_cap = max(1, self.max_pending // size)
+        if executor is not None:
+            # Caller-owned pool (service broker): use, never shut down.
+            return self._drain_pool(executor, chunks, pending_cap)
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            pending = {}
-            while todo or pending:
-                while todo and len(pending) < pending_cap:
-                    chunk = todo.pop()
-                    try:
-                        fut = pool.submit(_solve_chunk, chunk)
-                    except Exception as exc:
-                        # e.g. a broken pool: record, don't crash the run.
-                        raw.append(
-                            [_pool_error_record(p, exc) for p in chunk]
-                        )
-                        continue
-                    pending[fut] = chunk
-                if not pending:
+            return self._drain_pool(pool, chunks, pending_cap)
+
+    @staticmethod
+    def _drain_pool(
+        pool: Executor, chunks, pending_cap: int
+    ) -> List[List[Dict[str, Any]]]:
+        raw: List[List[Dict[str, Any]]] = []
+        todo = list(reversed(chunks))
+        pending = {}
+        while todo or pending:
+            while todo and len(pending) < pending_cap:
+                chunk = todo.pop()
+                try:
+                    fut = pool.submit(_solve_chunk, chunk)
+                except Exception as exc:
+                    # e.g. a broken pool: record, don't crash the run.
+                    raw.append(
+                        [_pool_error_record(p, exc) for p in chunk]
+                    )
                     continue
-                done, _ = wait(pending, return_when=FIRST_COMPLETED)
-                for fut in done:
-                    chunk = pending.pop(fut)
-                    exc = fut.exception()
-                    if exc is None:
-                        raw.append(fut.result())
-                    else:
-                        # Pool-level failure: unpicklable payload, or a
-                        # worker process that died (segfault, OOM kill,
-                        # BrokenProcessPool).  Record the error for every
-                        # instance of the chunk rather than re-running any
-                        # of it in this process — a crash-inducing
-                        # instance must never be given a chance to take
-                        # the parent down with it.
-                        raw.append(
-                            [_pool_error_record(p, exc) for p in chunk]
-                        )
+                pending[fut] = chunk
+            if not pending:
+                continue
+            done, _ = wait(pending, return_when=FIRST_COMPLETED)
+            for fut in done:
+                chunk = pending.pop(fut)
+                exc = fut.exception()
+                if exc is None:
+                    raw.append(fut.result())
+                else:
+                    # Pool-level failure: unpicklable payload, or a
+                    # worker process that died (segfault, OOM kill,
+                    # BrokenProcessPool).  Record the error for every
+                    # instance of the chunk rather than re-running any
+                    # of it in this process — a crash-inducing
+                    # instance must never be given a chance to take
+                    # the parent down with it.
+                    raw.append(
+                        [_pool_error_record(p, exc) for p in chunk]
+                    )
         return raw
 
 
 def solve_many(
-    instances: Sequence[Instance],
+    instances: Sequence[BatchItem],
     algorithm: str = "jz",
     priority: str = "earliest-start",
     workers: Optional[int] = None,
@@ -396,7 +495,8 @@ def solve_many(
     lp_backend: str = "auto",
     chunksize: Optional[int] = None,
 ) -> BatchResult:
-    """Solve a batch of instances with any registered strategy pair.
+    """Solve a batch of instances (or instance-file paths) with any
+    registered strategy pair.
 
     Thin convenience wrapper over :class:`BatchRunner`; see its docs.
     Records are bit-identical to solving each instance sequentially

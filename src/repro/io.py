@@ -8,7 +8,14 @@ Instance::
     {"format": "repro-instance", "version": 1, "name": ...,
      "m": 8, "n_tasks": 3,
      "tasks": [{"name": "J0", "times": [10.0, 6.0, ...]}, ...],
-     "edges": [[0, 1], [0, 2]]}
+     "edges": [[0, 1], [0, 2]],
+     "fingerprint": "<hex sha-256 of the canonical content>"}
+
+The ``fingerprint`` field (see :func:`instance_fingerprint` and
+:mod:`repro.core.fingerprint`) is written on save and, when present,
+re-verified on load — a corrupted or hand-edited file fails loudly
+instead of silently colliding in the service result cache.  Files
+without it (written before the field existed) still load.
 
 Schedule::
 
@@ -23,14 +30,17 @@ import json
 from pathlib import Path
 from typing import Any, Dict, Union
 
+from .core.fingerprint import FINGERPRINT_VERSION
 from .core.instance import Instance
 from .core.task import MalleableTask
 from .dag import Dag
 from .schedule import Schedule, ScheduledTask
 
 __all__ = [
+    "instance_fingerprint",
     "instance_to_dict",
     "instance_from_dict",
+    "dict_to_instance",
     "schedule_to_dict",
     "schedule_from_dict",
     "save_instance",
@@ -42,8 +52,24 @@ __all__ = [
 _PathLike = Union[str, Path]
 
 
+def instance_fingerprint(instance: Instance) -> str:
+    """Canonical content hash of the instance (hex SHA-256).
+
+    Convenience alias for :meth:`repro.core.Instance.content_key`:
+    stable across edge input order, duplicate arcs, labels and pickle
+    round-trips; sensitive to any change of ``m``, a processing time or
+    the precedence relation.  The service result cache keys on it.
+    """
+    return instance.content_key()
+
+
 def instance_to_dict(instance: Instance) -> Dict[str, Any]:
-    """Serialize an instance to a JSON-compatible dict."""
+    """Serialize an instance to a JSON-compatible dict.
+
+    Includes the content ``fingerprint`` so an archived instance can be
+    integrity-checked on load and cache-addressed without re-hashing
+    trust decisions into the consumer.
+    """
     return {
         "format": "repro-instance",
         "version": 1,
@@ -55,18 +81,68 @@ def instance_to_dict(instance: Instance) -> Dict[str, Any]:
             for t in instance.tasks
         ],
         "edges": [list(e) for e in instance.dag.edges],
+        "fingerprint": instance_fingerprint(instance),
+        "fingerprint_version": FINGERPRINT_VERSION,
     }
 
 
 def instance_from_dict(data: Dict[str, Any]) -> Instance:
-    """Deserialize an instance; validates format/version and assumptions."""
+    """Deserialize an instance; validates format/version and assumptions.
+
+    Invalid processing times (NaN, negative, zero, infinite,
+    non-numeric) raise a :class:`ValueError` that names the offending
+    task on top of the model layer's own diagnostic — the numeric rules
+    live in :class:`MalleableTask` alone, this layer only adds the file
+    context.  When the dict carries a ``fingerprint``, the loaded
+    content is re-hashed and a mismatch raises — the file was corrupted
+    or edited after it was written.
+    """
     _expect(data, "repro-instance")
-    tasks = [
-        MalleableTask(t["times"], name=t.get("name"))
-        for t in data["tasks"]
-    ]
+    tasks = []
+    for j, t in enumerate(data["tasks"]):
+        if not isinstance(t, dict):
+            raise ValueError(
+                f"task {j}: expected an object with 'times', "
+                f"got {type(t).__name__}"
+            )
+        try:
+            tasks.append(MalleableTask(t["times"], name=t.get("name")))
+        except KeyError:
+            raise ValueError(
+                f"task {j} ({t.get('name')!r}): missing required "
+                "key 'times'"
+            ) from None
+        except (ValueError, TypeError) as exc:
+            # Includes AssumptionError; re-raised as ValueError with
+            # the task pinpointed for file-level diagnostics.
+            raise ValueError(
+                f"task {j} ({t.get('name')!r}): {exc}"
+            ) from None
     dag = Dag(data["n_tasks"], [tuple(e) for e in data["edges"]])
-    return Instance(tasks, dag, int(data["m"]), name=data.get("name"))
+    instance = Instance(
+        tasks, dag, int(data["m"]), name=data.get("name")
+    )
+    claimed = data.get("fingerprint")
+    claimed_version = data.get("fingerprint_version", FINGERPRINT_VERSION)
+    if (
+        claimed is not None
+        and claimed_version == FINGERPRINT_VERSION
+        and claimed != instance.content_key()
+    ):
+        raise ValueError(
+            f"instance fingerprint mismatch: file claims {claimed!r} "
+            f"but the content hashes to {instance.content_key()!r} "
+            "(corrupted or hand-edited instance file?)"
+        )
+    # A fingerprint from another FINGERPRINT_VERSION is not comparable:
+    # the file stays loadable, only the integrity check is skipped.
+    return instance
+
+
+#: Symmetric counterpart name to :func:`instance_to_dict` (the service
+#: broker deserializes request payloads through it); identical to
+#: :func:`instance_from_dict`.
+dict_to_instance = instance_from_dict
 
 
 def schedule_to_dict(schedule: Schedule) -> Dict[str, Any]:

@@ -30,6 +30,7 @@ from .base import (
 from .registry import (
     StrategyInfo,
     UnknownStrategyError,
+    canonical_strategy_pair,
     get_allotment,
     get_phase2,
     list_strategies,
@@ -53,6 +54,7 @@ __all__ = [
     "SolveReport",
     "StrategyInfo",
     "UnknownStrategyError",
+    "canonical_strategy_pair",
     "get_allotment",
     "get_phase2",
     "list_strategies",

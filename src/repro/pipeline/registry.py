@@ -26,6 +26,7 @@ from typing import Callable, Dict, Optional, Sequence, Tuple
 __all__ = [
     "StrategyInfo",
     "UnknownStrategyError",
+    "canonical_strategy_pair",
     "get_allotment",
     "get_phase2",
     "list_strategies",
@@ -141,6 +142,20 @@ def get_allotment(name: str) -> StrategyInfo:
 def get_phase2(name: str) -> StrategyInfo:
     """Resolve a phase-2 scheduler (canonical name or alias)."""
     return _lookup(PHASE2, name)
+
+
+def canonical_strategy_pair(
+    algorithm: str, priority: str
+) -> Tuple[str, str]:
+    """Resolve ``(algorithm, priority)`` to their canonical names.
+
+    Aliases collapse to one spelling, so every consumer that *keys* on
+    the pair — batch records, the service result cache, single-flight
+    dedup — agrees: ``("greedy", "earliest-start")`` and
+    ``("greedy-critical-path", "earliest-start")`` are the same work.
+    Raises :class:`UnknownStrategyError` for unregistered names.
+    """
+    return get_allotment(algorithm).name, get_phase2(priority).name
 
 
 def list_strategies(kind: Optional[str] = None) -> Tuple[StrategyInfo, ...]:

@@ -1,0 +1,42 @@
+"""Scheduling-as-a-service: async solver daemon + content-addressed cache.
+
+The one-shot CLI solves an instance and exits; this package keeps a
+solver *resident* so repeated traffic gets amortized:
+
+* :class:`~repro.service.cache.ResultCache` — results keyed by
+  ``(instance content fingerprint, algorithm, priority)``; in-memory
+  LRU with an optional on-disk JSON spill, fully counted
+  (hits/misses/evictions/spill traffic);
+* :class:`~repro.service.broker.SolverService` — an asyncio broker
+  speaking minimal HTTP/1.1 over a local TCP socket (stdlib streams, no
+  ``http.server``): answers hits from the cache, collapses concurrent
+  identical requests into one solve (single-flight), and dispatches
+  misses to the batch engine's persistent process pool — so every
+  served schedule is bit-identical to a direct
+  :class:`repro.pipeline.SchedulingPipeline` solve;
+* :class:`~repro.service.client.ServiceClient` — blocking stdlib
+  client (also the load generator's transport);
+* :func:`~repro.service.harness.serve_in_thread` — daemon-on-a-thread
+  harness for tests, benchmarks and notebooks.
+
+Start a daemon from the command line with ``python -m repro serve``;
+see the README's *Service* section for the architecture diagram and a
+quickstart.
+"""
+
+from .broker import DEFAULT_HOST, DEFAULT_PORT, SolverService
+from .cache import CacheKey, ResultCache
+from .client import ServiceClient, ServiceError
+from .harness import ServiceHandle, serve_in_thread
+
+__all__ = [
+    "CacheKey",
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "ResultCache",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceHandle",
+    "SolverService",
+    "serve_in_thread",
+]

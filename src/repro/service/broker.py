@@ -1,0 +1,666 @@
+"""Asyncio solve broker: the long-running scheduling daemon.
+
+:class:`SolverService` accepts JSON solve requests over a local TCP
+socket, answers cache hits from the content-addressed
+:class:`~repro.service.cache.ResultCache`, collapses concurrent
+identical requests into one solve (**single-flight**), and dispatches
+misses to the existing batch engine — a persistent
+``ProcessPoolExecutor`` driven through
+:meth:`repro.engine.BatchRunner.run`, so a served schedule is produced
+by exactly the same pipeline code path as a direct
+:class:`repro.pipeline.SchedulingPipeline` solve and is bit-identical
+to it.
+
+The wire protocol is minimal HTTP/1.1 implemented directly on asyncio
+streams (stdlib only, no ``http.server``), so any HTTP client — the
+bundled :class:`repro.service.client.ServiceClient`, ``curl``, a load
+balancer health check — can talk to it:
+
+* ``POST /solve`` with body
+  ``{"instance": <repro-instance dict>, "algorithm": "jz",
+  "priority": "earliest-start"}`` → the solve payload (schedule dict,
+  makespan, certified lower bound, observed ratio, cache/dedup flags);
+* ``GET /stats`` → request counters + cache counters;
+* ``GET /healthz`` → liveness probe;
+* ``POST /shutdown`` → graceful stop (used by tests and the CLI).
+
+Request keying: ``(instance.content_key(), algorithm, priority)`` with
+canonical strategy names, so aliases, task labels, edge input order and
+transport representation never split the cache.
+
+Concurrency model: the asyncio loop parses requests and serves hits;
+each miss leader hands the blocking batch call to a small thread pool,
+which in turn drives the process pool (or solves in-process when
+``workers == 0`` — handy for tests and single-core boxes).  Waiters on
+an in-flight key await the leader's future; results are passed as
+``("ok", payload)`` / ``("error", message)`` tuples so an abandoned
+future never logs an unretrieved exception.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import threading
+import time
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Dict, Optional, Tuple, Union
+
+from .. import __version__
+from ..core.instance import Instance
+from ..engine.batch import POOL_FAILURE_PREFIX, BatchRunner
+from ..io import dict_to_instance
+from ..pipeline import UnknownStrategyError, canonical_strategy_pair
+from .cache import CacheKey, ResultCache
+
+__all__ = ["DEFAULT_HOST", "DEFAULT_PORT", "SolverService"]
+
+DEFAULT_HOST = "127.0.0.1"
+#: Default TCP port of ``repro serve`` (0 = pick an ephemeral port).
+DEFAULT_PORT = 8705
+
+#: Largest accepted request body; a local scheduling daemon has no
+#: business parsing gigabyte uploads.
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: Caps on the header section (the body is capped separately): a
+#: client streaming endless header lines must hit a 400, not an OOM.
+MAX_HEADER_LINES = 128
+MAX_HEADER_BYTES = 64 * 1024
+
+_Outcome = Tuple[str, Union[Dict[str, Any], str]]
+
+
+class _BadRequest(ValueError):
+    """An HTTP framing problem the client should hear about (instead of
+    a silently dropped connection)."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+def _warmed_pool(workers: int) -> ProcessPoolExecutor:
+    """A process pool whose workers are forked *now*, not lazily.
+
+    ``ProcessPoolExecutor`` forks on first submit — which in the daemon
+    would be a solve thread of an already multi-threaded, mid-traffic
+    process (fork-with-held-locks hazard).  Warming at construction
+    time forks while the process is as quiet as it gets: at startup
+    before any client exists, or on the replacement path before the
+    fresh pool is published to other threads.
+    """
+    pool = ProcessPoolExecutor(max_workers=workers)
+    for fut in [pool.submit(os.getpid) for _ in range(workers)]:
+        fut.result()
+    return pool
+
+
+class _Connection:
+    """Per-connection state the shutdown path inspects: the writer to
+    close, and whether a request is being processed right now."""
+
+    __slots__ = ("writer", "busy")
+
+    def __init__(self, writer: asyncio.StreamWriter):
+        self.writer = writer
+        self.busy = False
+
+
+class SolverService:
+    """The scheduling daemon: cache + single-flight broker + solver pool.
+
+    Parameters
+    ----------
+    workers:
+        Process-pool size for cache misses.  ``0`` solves in-process on
+        the broker's thread pool (no fork — fast startup, used by the
+        test suite); ``None`` uses the machine's CPU count.
+    cache:
+        A pre-built :class:`ResultCache` to share/inspect, or ``None``
+        to build one from ``cache_capacity``/``spill_dir``.
+    cache_capacity, spill_dir:
+        Forwarded to :class:`ResultCache` when ``cache`` is ``None``.
+    algorithm, priority:
+        Default strategy pair for requests that do not name one.
+    lp_backend:
+        LP backend forwarded to the pipeline.
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: Optional[int] = 0,
+        cache: Optional[ResultCache] = None,
+        cache_capacity: int = 1024,
+        spill_dir: Optional[str] = None,
+        algorithm: str = "jz",
+        priority: str = "earliest-start",
+        lp_backend: str = "auto",
+    ):
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        # Fail fast on a misconfigured default strategy pair.
+        canonical_strategy_pair(algorithm, priority)
+        self.workers = workers
+        self.algorithm = algorithm
+        self.priority = priority
+        self.lp_backend = lp_backend
+        self.cache = (
+            cache
+            if cache is not None
+            else ResultCache(cache_capacity, spill_dir)
+        )
+        self._pool: Optional[Executor] = None
+        self._pool_lock = threading.Lock()
+        self._pool_generation = 0
+        self._pool_restarts = 0
+        self._solve_threads: Optional[ThreadPoolExecutor] = None
+        self._aux_threads: Optional[ThreadPoolExecutor] = None
+        self._inflight: Dict[CacheKey, "asyncio.Future[_Outcome]"] = {}
+        self._connections: Dict["asyncio.Task[None]", _Connection] = {}
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._stopped: Optional[asyncio.Event] = None
+        self._started_at = time.monotonic()
+        self.port: Optional[int] = None
+        self.host: Optional[str] = None
+        # Request counters (loop-confined: mutated only on the loop).
+        self._n_requests = 0
+        self._n_solved = 0
+        self._n_deduped = 0
+        self._n_errors = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(
+        self, host: str = DEFAULT_HOST, port: int = DEFAULT_PORT
+    ) -> asyncio.AbstractServer:
+        """Bind and start serving; resolves ``self.host``/``self.port``
+        (pass ``port=0`` for an ephemeral port)."""
+        if self._server is not None:
+            raise RuntimeError("service already started")
+        if self.workers > 0:
+            self._pool = _warmed_pool(self.workers)
+        # Enough threads that `workers` misses can block on the process
+        # pool concurrently while hits keep flowing on the loop.
+        self._solve_threads = ThreadPoolExecutor(
+            max_workers=max(2, self.workers),
+            thread_name_prefix="repro-solve",
+        )
+        # Auxiliary pool for loop-unfriendly per-request work: instance
+        # parsing + content hashing (bodies may be tens of MB), and the
+        # cache's disk tier when one is configured.  Separate from the
+        # solve threads, which may all be parked on long solves.
+        self._aux_threads = ThreadPoolExecutor(
+            max_workers=2, thread_name_prefix="repro-aux"
+        )
+        self._stopped = asyncio.Event()
+        try:
+            self._server = await asyncio.start_server(
+                self._handle_connection, host, port
+            )
+        except BaseException:
+            # A failed bind (port in use, bad address) must not leak
+            # the freshly-forked solver processes or the thread pools.
+            self._close_executors()
+            raise
+        sock = self._server.sockets[0]
+        self.host, self.port = sock.getsockname()[:2]
+        return self._server
+
+    async def serve_forever(self) -> None:
+        """Serve until :meth:`request_stop` (or ``POST /shutdown``)."""
+        if self._server is None or self._stopped is None:
+            raise RuntimeError("call start() first")
+        try:
+            await self._stopped.wait()
+        finally:
+            await self._shutdown()
+
+    async def run(
+        self, host: str = DEFAULT_HOST, port: int = DEFAULT_PORT
+    ) -> None:
+        """``start()`` + ``serve_forever()`` in one call."""
+        await self.start(host, port)
+        await self.serve_forever()
+
+    def request_stop(self) -> None:
+        """Ask the daemon to shut down (threadsafe from the loop)."""
+        if self._stopped is not None:
+            self._stopped.set()
+
+    async def _shutdown(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Close *idle* keep-alive connections (their readline sees EOF
+        # and the handler returns).  Connections with a request in
+        # flight keep their writer: the handler finishes the solve,
+        # delivers the response, then exits because the stop event is
+        # set.  Then wait for every handler task to end on its own —
+        # cancelling them mid-write would be noisy and lossy.  In-flight
+        # single-flight futures are NOT force-failed here: every leader
+        # is one of the gathered handlers and its finally block resolves
+        # the future, so waiters get the real result, not a 500.
+        for conn in list(self._connections.values()):
+            if not conn.busy:
+                conn.writer.close()
+        if self._connections:
+            await asyncio.gather(
+                *list(self._connections), return_exceptions=True
+            )
+        self._connections.clear()
+        for fut in list(self._inflight.values()):
+            if not fut.done():  # defensive: a leaderless future
+                fut.set_result(("error", "service shutting down"))
+        self._inflight.clear()
+        self._close_executors()
+
+    def _close_executors(self) -> None:
+        if self._solve_threads is not None:
+            self._solve_threads.shutdown(wait=True)
+            self._solve_threads = None
+        if self._aux_threads is not None:
+            self._aux_threads.shutdown(wait=True)
+            self._aux_threads = None
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    # ------------------------------------------------------------------
+    # HTTP layer (asyncio streams; no http.server)
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        conn = _Connection(writer)
+        if task is not None:
+            self._connections[task] = conn
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except _BadRequest as exc:
+                    # Framing problems get an answer, not a dropped
+                    # connection (which could desync into the payload).
+                    await self._write_response(
+                        writer, exc.status, self._error(str(exc)), False
+                    )
+                    break
+                if request is None:
+                    break
+                conn.busy = True
+                method, path, headers, body = request
+                keep_alive = (
+                    headers.get("connection", "").lower() != "close"
+                )
+                status, payload = await self._dispatch(method, path, body)
+                await self._write_response(
+                    writer, status, payload, keep_alive
+                )
+                conn.busy = False
+                if not keep_alive:
+                    break
+                if self._stopped is not None and self._stopped.is_set():
+                    # Shutting down: the response above was delivered;
+                    # do not park on another read.
+                    break
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionError,
+            ValueError,
+        ):
+            # Torn connection or unparseable request line: just drop it.
+            pass
+        finally:
+            if task is not None:
+                self._connections.pop(task, None)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+    @staticmethod
+    async def _read_request(
+        reader: asyncio.StreamReader,
+    ) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+        line = await reader.readline()
+        if not line:
+            return None  # client closed the keep-alive connection
+        parts = line.decode("latin-1").split()
+        if len(parts) < 2:
+            raise _BadRequest(400, f"malformed request line: {line!r}")
+        method, path = parts[0].upper(), parts[1]
+        headers: Dict[str, str] = {}
+        header_bytes = 0
+        while True:
+            h = await reader.readline()
+            if h in (b"\r\n", b"\n"):
+                break
+            if not h:
+                # EOF mid-headers: a torn request must be discarded,
+                # never executed with a defaulted empty body.
+                return None
+            header_bytes += len(h)
+            if (
+                len(headers) >= MAX_HEADER_LINES
+                or header_bytes > MAX_HEADER_BYTES
+            ):
+                raise _BadRequest(400, "header section too large")
+            name, _, value = h.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        encoding = headers.get("transfer-encoding", "identity").lower()
+        if encoding not in ("", "identity"):
+            # Reading on would desync the connection into the payload.
+            raise _BadRequest(
+                501,
+                f"Transfer-Encoding {encoding!r} not supported; "
+                "send a Content-Length body",
+            )
+        try:
+            n = int(headers.get("content-length", "0") or 0)
+        except ValueError:
+            raise _BadRequest(400, "malformed Content-Length") from None
+        if n < 0 or n > MAX_BODY_BYTES:
+            raise _BadRequest(
+                400, f"content-length {n} out of bounds"
+            )
+        body = await reader.readexactly(n) if n else b""
+        return method, path, headers, body
+
+    @staticmethod
+    async def _write_response(
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: Dict[str, Any],
+        keep_alive: bool,
+    ) -> None:
+        reasons = {
+            200: "OK", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 500: "Internal Server Error",
+            501: "Not Implemented",
+        }
+        body = json.dumps(payload).encode()
+        head = (
+            f"HTTP/1.1 {status} {reasons.get(status, 'Unknown')}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            "\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+
+    async def _dispatch(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, Dict[str, Any]]:
+        self._n_requests += 1
+        if path == "/healthz":
+            if method != "GET":
+                return 405, self._error("use GET /healthz")
+            return 200, {"status": "ok", "version": __version__}
+        if path == "/stats":
+            if method != "GET":
+                return 405, self._error("use GET /stats")
+            return 200, self.stats()
+        if path == "/shutdown":
+            if method != "POST":
+                return 405, self._error("use POST /shutdown")
+            # Answer first, stop after: the event is read by
+            # serve_forever on the next loop tick.
+            asyncio.get_running_loop().call_soon(self.request_stop)
+            return 200, {"status": "shutting-down"}
+        if path == "/solve":
+            if method != "POST":
+                return 405, self._error("use POST /solve")
+            try:
+                data = json.loads(body.decode())
+            except (UnicodeDecodeError, ValueError):
+                self._n_errors += 1
+                return 400, self._error("request body is not valid JSON")
+            if not isinstance(data, dict):
+                self._n_errors += 1
+                return 400, self._error(
+                    "request body must be a JSON object"
+                )
+            return await self._handle_solve(data)
+        return 404, self._error(
+            f"unknown path {path!r}; known: /solve /stats /healthz "
+            "/shutdown"
+        )
+
+    @staticmethod
+    def _error(message: str) -> Dict[str, Any]:
+        return {"status": "error", "error": message}
+
+    # ------------------------------------------------------------------
+    # the solve path: cache → single-flight → batch engine
+    # ------------------------------------------------------------------
+    async def _handle_solve(
+        self, data: Dict[str, Any]
+    ) -> Tuple[int, Dict[str, Any]]:
+        loop = asyncio.get_running_loop()
+        inst_data = data.get("instance")
+        if inst_data is None:
+            self._n_errors += 1
+            return 400, self._error("missing 'instance' field")
+        try:
+            # Parsing + content hashing can be expensive for large
+            # instances: keep them off the loop so concurrent hits and
+            # health probes never stall behind one fat payload.
+            instance, instance_key = await loop.run_in_executor(
+                self._aux_threads, self._parse_instance, inst_data
+            )
+        except Exception as exc:
+            # The payload is untrusted wire input: *any* parse failure
+            # is the client's 400, never a dead connection.
+            self._n_errors += 1
+            return 400, self._error(
+                f"invalid instance: {type(exc).__name__}: {exc}"
+            )
+        algorithm_name = data.get("algorithm") or self.algorithm
+        priority_name = data.get("priority") or self.priority
+        if not isinstance(algorithm_name, str) or not isinstance(
+            priority_name, str
+        ):
+            self._n_errors += 1
+            return 400, self._error(
+                "'algorithm' and 'priority' must be strings"
+            )
+        try:
+            algorithm, priority = canonical_strategy_pair(
+                algorithm_name, priority_name
+            )
+        except UnknownStrategyError as exc:
+            self._n_errors += 1
+            return 400, self._error(str(exc))
+
+        key: CacheKey = (instance_key, algorithm, priority)
+        cached = await self._cache_get(key)
+        if cached is not None:
+            return 200, {**cached, "cached": True, "deduped": False}
+
+        # NB: no await between this in-flight check and the leader's
+        # registration below — that atomicity (on the single-threaded
+        # loop) is what makes single-flight race-free.
+        fut = self._inflight.get(key)
+        if fut is not None:
+            # Single-flight: identical request already solving — wait
+            # for the leader.  shield() so one waiter's disconnect
+            # cannot cancel the shared future under everyone else.
+            self._n_deduped += 1
+            status, value = await asyncio.shield(fut)
+            if status != "ok":
+                self._n_errors += 1
+                return 500, self._error(str(value))
+            return 200, {**value, "cached": False, "deduped": True}
+
+        if self.cache.has_spill:
+            # The off-loop cache lookup above opened a window in which
+            # a leader for this key may have finished (popping the
+            # in-flight entry and caching its result) — a stale miss
+            # here must not trigger a duplicate solve.  Memory-only
+            # re-check, synchronous and I/O-free.
+            cached = self.cache.peek(key)
+            if cached is not None:
+                return 200, {**cached, "cached": True, "deduped": False}
+
+        fut = loop.create_future()
+        self._inflight[key] = fut
+        # Default stands if the awaiting task is torn down (client gone,
+        # loop shutting down) before the executor returns — the waiters
+        # must still be released.
+        outcome: _Outcome = ("error", "solve aborted")
+        try:
+            try:
+                outcome = await loop.run_in_executor(
+                    self._solve_threads,
+                    self._solve_blocking,
+                    instance,
+                    algorithm,
+                    priority,
+                    key,
+                )
+            except Exception as exc:  # executor down, pickling, ...
+                outcome = ("error", f"{type(exc).__name__}: {exc}")
+            if outcome[0] == "ok":
+                await self._cache_put(key, outcome[1])
+                self._n_solved += 1
+        finally:
+            self._inflight.pop(key, None)
+            if not fut.done():
+                fut.set_result(outcome)
+        if outcome[0] != "ok":
+            self._n_errors += 1
+            return 500, self._error(str(outcome[1]))
+        return 200, {**outcome[1], "cached": False, "deduped": False}
+
+    @staticmethod
+    def _parse_instance(data: Dict[str, Any]) -> Tuple[Instance, str]:
+        """Aux-thread body: build the instance and its content key."""
+        instance = dict_to_instance(data)
+        return instance, instance.content_key()
+
+    async def _cache_get(self, key: CacheKey):
+        """Cache lookup; routed through the aux thread pool when a
+        disk tier is configured so spill I/O never blocks the loop.
+        Awaiting here is safe for single-flight: the in-flight
+        check-and-register happens after this returns, atomically."""
+        if not self.cache.has_spill:
+            return self.cache.get(key)
+        return await asyncio.get_running_loop().run_in_executor(
+            self._aux_threads, self.cache.get, key
+        )
+
+    async def _cache_put(self, key: CacheKey, value: Dict[str, Any]):
+        if not self.cache.has_spill:
+            self.cache.put(key, value)
+            return
+        await asyncio.get_running_loop().run_in_executor(
+            self._aux_threads, self.cache.put, key, value
+        )
+
+    def _solve_blocking(
+        self,
+        instance: Instance,
+        algorithm: str,
+        priority: str,
+        key: CacheKey,
+    ) -> _Outcome:
+        """Thread-pool body: one batch of one instance, same pipeline
+        code path (and hence bit-identical schedules) as a direct
+        :class:`~repro.pipeline.SchedulingPipeline` solve.
+
+        A *pool-level* failure (a worker died: the ProcessPoolExecutor
+        is permanently broken from then on) replaces the pool and
+        retries this request once on the fresh one — a resident daemon
+        must not answer 500 forever because one past solve crashed a
+        worker.  Solve-level failures are never retried.
+        """
+        rec = None
+        for _attempt in (0, 1):
+            with self._pool_lock:
+                # Snapshot both atomically: a torn read (old pool, new
+                # generation) could pass the replacement guard and shut
+                # down a healthy pool.
+                pool = self._pool
+                generation = self._pool_generation
+            runner = BatchRunner(
+                workers=self.workers if pool is not None else 0,
+                algorithm=algorithm,
+                priority=priority,
+                lp_backend=self.lp_backend,
+                include_schedule=True,
+            )
+            result = runner.run([instance], executor=pool)
+            rec = result.records[0]
+            if rec.ok:
+                break
+            if pool is None or POOL_FAILURE_PREFIX not in (
+                rec.error or ""
+            ):
+                break
+            self._replace_broken_pool(generation)
+        if not rec.ok:
+            return ("error", rec.error or "solve failed")
+        return (
+            "ok",
+            {
+                "status": "ok",
+                "instance_key": key[0],
+                "algorithm": rec.algorithm,
+                "priority": rec.priority,
+                "name": rec.name,
+                "n_tasks": rec.n_tasks,
+                "m": rec.m,
+                "makespan": rec.makespan,
+                "lower_bound": rec.lower_bound,
+                "ratio_bound": rec.ratio_bound,
+                "observed_ratio": rec.observed_ratio,
+                "rho": rec.rho,
+                "mu": rec.mu,
+                "schedule": rec.schedule,
+                "solve_wall_time": rec.wall_time,
+            },
+        )
+
+    def _replace_broken_pool(self, generation: int) -> None:
+        """Swap in a fresh process pool (once per broken generation —
+        concurrent solve threads detecting the same breakage race here
+        and only the first one swaps)."""
+        with self._pool_lock:
+            if self._pool_generation != generation or self._pool is None:
+                return
+            broken = self._pool
+            self._pool = _warmed_pool(self.workers)
+            self._pool_generation += 1
+            self._pool_restarts += 1
+        broken.shutdown(wait=False)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """Daemon counters + cache counters (the ``/stats`` payload)."""
+        return {
+            "status": "ok",
+            "version": __version__,
+            "uptime": time.monotonic() - self._started_at,
+            "workers": self.workers,
+            "pool_restarts": self._pool_restarts,
+            "default_algorithm": self.algorithm,
+            "default_priority": self.priority,
+            "requests": self._n_requests,
+            "solved": self._n_solved,
+            "deduped": self._n_deduped,
+            "errors": self._n_errors,
+            "inflight": len(self._inflight),
+            "cache": self.cache.stats(),
+        }

@@ -1,0 +1,144 @@
+"""Synchronous client for the scheduling daemon.
+
+A thin stdlib (``http.client``) wrapper over the broker's wire
+protocol; used by the test suite, the CI smoke job and the
+``benchmarks/bench_service.py`` load generator.  One client holds one
+keep-alive connection — use one client per thread (they are cheap), as
+``http.client`` connections are not thread-safe.
+
+    from repro.service import ServiceClient
+
+    with ServiceClient(port=8705) as c:
+        reply = c.solve(instance, algorithm="jz")
+        reply["makespan"], reply["cached"], reply["schedule"]
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Dict, Optional, Union
+
+from ..core.instance import Instance
+from ..io import instance_to_dict
+from .broker import DEFAULT_HOST, DEFAULT_PORT
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx reply from the daemon.
+
+    ``http_status`` holds the HTTP code, ``payload`` the decoded error
+    body (``{"status": "error", "error": ...}``).
+    """
+
+    def __init__(self, http_status: int, payload: Dict[str, Any]):
+        self.http_status = http_status
+        self.payload = payload
+        message = payload.get("error", "unknown service error")
+        super().__init__(f"[HTTP {http_status}] {message}")
+
+
+class ServiceClient:
+    """Blocking client over one keep-alive connection."""
+
+    def __init__(
+        self,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+        timeout: float = 300.0,
+    ):
+        self.host = host
+        self.port = int(port)
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # ------------------------------------------------------------------
+    # endpoints
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        instance: Union[Instance, Dict[str, Any]],
+        algorithm: Optional[str] = None,
+        priority: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Solve ``instance`` (an :class:`Instance` or an instance
+        dict) under the given strategy pair; returns the daemon's solve
+        payload (schedule dict, makespan, certified lower bound,
+        ``cached``/``deduped`` flags)."""
+        body: Dict[str, Any] = {
+            "instance": (
+                instance_to_dict(instance)
+                if isinstance(instance, Instance)
+                else instance
+            ),
+        }
+        if algorithm is not None:
+            body["algorithm"] = algorithm
+        if priority is not None:
+            body["priority"] = priority
+        return self._request("POST", "/solve", body)
+
+    def stats(self) -> Dict[str, Any]:
+        """The daemon's counter snapshot (``GET /stats``)."""
+        return self._request("GET", "/stats")
+
+    def health(self) -> Dict[str, Any]:
+        """Liveness probe (``GET /healthz``)."""
+        return self._request("GET", "/healthz")
+
+    def shutdown(self) -> Dict[str, Any]:
+        """Ask the daemon to stop (``POST /shutdown``)."""
+        return self._request("POST", "/shutdown")
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        payload = None if body is None else json.dumps(body).encode()
+        headers = {"Content-Type": "application/json"}
+        # One transparent retry on a dead keep-alive connection (the
+        # daemon restarted, or an idle timeout closed the socket).
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=payload, headers=headers)
+                resp = conn.getresponse()
+                raw = resp.read()
+                break
+            except (ConnectionError, http.client.HTTPException, OSError):
+                self.close()
+                if attempt:
+                    raise
+        try:
+            decoded = json.loads(raw.decode())
+        except ValueError:
+            decoded = {"status": "error", "error": raw.decode(errors="replace")}
+        if resp.status >= 400:
+            raise ServiceError(resp.status, decoded)
+        return decoded
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def close(self) -> None:
+        """Drop the connection (re-opened lazily on next use)."""
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

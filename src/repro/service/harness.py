@@ -1,0 +1,119 @@
+"""Run the scheduling daemon on a background thread.
+
+Tests, benchmarks and notebook users want the broker *and* the client
+in one process without managing an event loop by hand:
+
+    from repro.service import serve_in_thread, ServiceClient
+
+    with serve_in_thread(workers=0) as handle:
+        with ServiceClient(port=handle.port) as c:
+            c.solve(instance)
+
+The daemon gets its own thread and its own asyncio loop; ``stop()``
+(or leaving the ``with`` block) requests a graceful shutdown and joins
+the thread.  The CLI's ``repro serve`` runs the loop in the foreground
+instead (:mod:`repro.cli`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Any, Optional
+
+from .broker import DEFAULT_HOST, SolverService
+
+__all__ = ["ServiceHandle", "serve_in_thread"]
+
+
+class ServiceHandle:
+    """A running daemon thread: address, service object, stop switch."""
+
+    def __init__(
+        self,
+        service: SolverService,
+        thread: threading.Thread,
+        loop: asyncio.AbstractEventLoop,
+    ):
+        self.service = service
+        self._thread = thread
+        self._loop = loop
+
+    @property
+    def host(self) -> str:
+        """The bound host."""
+        assert self.service.host is not None
+        return self.service.host
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (resolved even when started with 0)."""
+        assert self.service.port is not None
+        return self.service.port
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Request shutdown and join the daemon thread."""
+        if self._thread.is_alive():
+            try:
+                self._loop.call_soon_threadsafe(self.service.request_stop)
+            except RuntimeError:
+                pass  # loop already closed
+            self._thread.join(timeout)
+
+    def __enter__(self) -> "ServiceHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def serve_in_thread(
+    host: str = DEFAULT_HOST,
+    port: int = 0,
+    startup_timeout: float = 30.0,
+    **service_kwargs: Any,
+) -> ServiceHandle:
+    """Start a :class:`SolverService` on a daemon thread and wait until
+    it is accepting connections.
+
+    ``port=0`` (default) binds an ephemeral port; read the real one
+    from ``handle.port``.  Remaining keyword arguments go to the
+    :class:`SolverService` constructor.  Raises if the daemon fails to
+    come up (address in use, bad configuration) instead of hanging.
+    """
+    started = threading.Event()
+    box: dict = {}
+
+    async def _main() -> None:
+        service = SolverService(**service_kwargs)
+        try:
+            await service.start(host, port)
+        except BaseException as exc:
+            box["error"] = exc
+            started.set()
+            raise
+        box["service"] = service
+        box["loop"] = asyncio.get_running_loop()
+        started.set()
+        await service.serve_forever()
+
+    def _runner() -> None:
+        try:
+            asyncio.run(_main())
+        except BaseException as exc:  # surface startup failures
+            box.setdefault("error", exc)
+            started.set()
+
+    thread = threading.Thread(
+        target=_runner, name="repro-service", daemon=True
+    )
+    thread.start()
+    if not started.wait(startup_timeout):
+        raise RuntimeError(
+            f"service did not start within {startup_timeout}s"
+        )
+    error: Optional[BaseException] = box.get("error")
+    if error is not None:
+        thread.join(5.0)
+        raise RuntimeError(f"service failed to start: {error}") from error
+    return ServiceHandle(box["service"], thread, box["loop"])

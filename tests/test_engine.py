@@ -281,7 +281,11 @@ class TestCliBatch:
         assert rc == 1
         records = read_jsonl(out)
         assert [r.status for r in records] == ["error", "ok"]
-        assert "cannot load" in capsys.readouterr().err
+        # The unloadable file is named by its path in the error record
+        # (paths are loaded inside the worker now) and surfaced on
+        # stderr via the error summary.
+        assert records[0].name == str(bad)
+        assert "bad.json" in capsys.readouterr().err
 
     def test_algorithm_and_priority_flags(self, tmp_path, capsys):
         from repro.cli import main
@@ -354,3 +358,100 @@ class TestChunkedSubmission:
         ) == 7
         with pytest.raises(ValueError):
             BatchRunner(workers=2, chunksize=0).resolved_chunksize(8, 2)
+
+
+class TestBatchItems:
+    """Pre-built instances, file paths and mixtures of both."""
+
+    def test_mixed_instances_and_paths(self, tmp_path):
+        from repro.io import save_instance
+
+        instances = _instances(3)
+        path = tmp_path / "inst0.json"
+        save_instance(instances[0], path)
+        res = BatchRunner(workers=0).run(
+            [instances[1], str(path), tmp_path / "missing.json"]
+        )
+        assert [r.status for r in res.records] == ["ok", "ok", "error"]
+        ref = BatchRunner(workers=0).run([instances[1], instances[0]])
+        assert res.records[0].makespan == ref.records[0].makespan
+        assert res.records[1].makespan == ref.records[1].makespan
+        assert res.records[2].name == str(tmp_path / "missing.json")
+
+    def test_paths_loaded_in_pool_workers(self, tmp_path):
+        from repro.io import save_instance
+
+        instances = _instances(3)
+        paths = []
+        for k, inst in enumerate(instances):
+            p = tmp_path / f"i{k}.json"
+            save_instance(inst, p)
+            paths.append(str(p))
+        pooled = BatchRunner(workers=2, use_pool=True).run(paths)
+        seq = BatchRunner(workers=0).run(instances)
+        assert pooled.n_errors == 0
+        assert [r.makespan for r in pooled.records] == [
+            r.makespan for r in seq.records
+        ]
+
+    def test_include_schedule_matches_pipeline(self):
+        from repro.io import schedule_to_dict
+
+        inst = _instances(1)[0]
+        rec = BatchRunner(workers=0, include_schedule=True).run(
+            [inst]
+        ).records[0]
+        ref = solve(inst)
+        assert rec.schedule == schedule_to_dict(ref.schedule)
+        # Without the flag the column stays absent from JSONL lines.
+        bare = BatchRunner(workers=0).run([inst]).records[0]
+        assert bare.schedule is None
+        assert "schedule" not in bare.to_dict()
+        assert "schedule" in rec.to_dict()
+
+    def test_schedule_column_round_trips_jsonl(self, tmp_path):
+        inst = _instances(1)[0]
+        res = BatchRunner(workers=0, include_schedule=True).run([inst])
+        path = tmp_path / "records.jsonl"
+        write_jsonl(res.records, path)
+        back = read_jsonl(path)
+        assert back[0].schedule == res.records[0].schedule
+
+
+class TestExternalExecutor:
+    def test_caller_owned_executor_reused_and_not_shut_down(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        instances = _instances(3)
+        seq = BatchRunner(workers=0).run(instances)
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            r1 = BatchRunner(workers=2).run(instances, executor=pool)
+            # The pool must survive the first run for the second one.
+            r2 = BatchRunner(workers=2).run(instances, executor=pool)
+        for res in (r1, r2):
+            assert res.n_errors == 0
+            assert [r.makespan for r in res.records] == [
+                r.makespan for r in seq.records
+            ]
+
+    def test_single_instance_batch_uses_external_pool(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        inst = _instances(1)[0]
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            res = BatchRunner(workers=1).run([inst], executor=pool)
+        assert res.records[0].ok
+
+
+class TestPoolFailureContract:
+    def test_pool_error_records_carry_the_marker(self):
+        # The service broker's replace-broken-pool logic keys on this
+        # prefix; the constant pins the cross-module contract.
+        from repro.engine.batch import (
+            POOL_FAILURE_PREFIX,
+            _pool_error_record,
+        )
+
+        rec = _pool_error_record((3, object()), RuntimeError("boom"))
+        assert rec["error"].startswith(POOL_FAILURE_PREFIX)
+        assert rec["index"] == 3 and rec["status"] == "error"

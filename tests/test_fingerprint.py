@@ -1,0 +1,175 @@
+"""Tests for the instance content fingerprint and its io round-trip."""
+
+import json
+import math
+import pickle
+import random
+
+import pytest
+
+from repro.core.fingerprint import instance_content_key
+from repro.core.instance import Instance
+from repro.dag import Dag
+from repro.io import (
+    dict_to_instance,
+    instance_fingerprint,
+    instance_from_dict,
+    instance_to_dict,
+    load_instance,
+    save_instance,
+)
+from repro.workloads import make_instance
+
+
+def _inst(seed=0, size=14, m=6):
+    return make_instance("layered", size, m, model="power", seed=seed)
+
+
+class TestFingerprintStability:
+    def test_deterministic_and_memoized(self):
+        inst = _inst()
+        key = inst.content_key()
+        assert isinstance(key, str) and len(key) == 64
+        assert inst.content_key() == key
+        assert instance_content_key(inst) == key
+        assert instance_fingerprint(inst) == key
+
+    def test_invariant_under_edge_input_order_and_duplicates(self):
+        inst = _inst()
+        edges = list(inst.dag.edges)
+        rng = random.Random(7)
+        for _ in range(3):
+            shuffled = edges[:]
+            rng.shuffle(shuffled)
+            dag = Dag(inst.n_tasks, shuffled + shuffled[: len(edges) // 2])
+            same = Instance(inst.tasks, dag, inst.m)
+            assert same.content_key() == inst.content_key()
+
+    def test_invariant_under_pickle_round_trip(self):
+        inst = _inst(seed=3)
+        clone = pickle.loads(pickle.dumps(inst))
+        assert clone.content_key() == inst.content_key()
+
+    def test_names_do_not_participate(self):
+        inst = _inst()
+        relabeled = Instance(
+            inst.tasks, inst.dag, inst.m, name="entirely different"
+        )
+        assert relabeled.content_key() == inst.content_key()
+
+    def test_sensitive_to_content(self):
+        inst = _inst()
+        key = inst.content_key()
+        # A changed processing-time matrix misses.
+        other_times = _inst(seed=99)
+        assert other_times.content_key() != key
+        # A changed precedence relation misses (same tasks, same m).
+        edges = list(inst.dag.edges)
+        smaller = Instance(
+            inst.tasks, Dag(inst.n_tasks, edges[:-1]), inst.m
+        )
+        assert smaller.content_key() != key
+
+    def test_task_index_permutation_is_different_content(self):
+        # tasks[j] IS node J_j: permuting indices (with consistently
+        # relabeled edges) is a different labeled instance unless the
+        # permutation happens to be an automorphism with equal profiles.
+        inst = _inst(seed=5)
+        n = inst.n_tasks
+        perm = list(range(n))
+        random.Random(1).shuffle(perm)
+        tasks = [inst.tasks[perm[j]] for j in range(n)]
+        inv = [0] * n
+        for j, p in enumerate(perm):
+            inv[p] = j
+        edges = [(inv[u], inv[v]) for (u, v) in inst.dag.edges]
+        permuted = Instance(tasks, Dag(n, edges), inst.m)
+        # Profiles are i.i.d. random draws, so the permuted labeling is
+        # distinct content with probability 1.
+        assert permuted.content_key() != inst.content_key()
+
+
+class TestIoRoundTrip:
+    def test_dict_round_trips_fingerprint(self):
+        inst = _inst()
+        data = instance_to_dict(inst)
+        assert data["fingerprint"] == inst.content_key()
+        back = instance_from_dict(data)
+        assert back.content_key() == inst.content_key()
+        assert dict_to_instance is instance_from_dict
+
+    def test_file_round_trip(self, tmp_path):
+        inst = _inst(seed=2)
+        path = tmp_path / "inst.json"
+        save_instance(inst, path)
+        assert json.loads(path.read_text())["fingerprint"] == (
+            inst.content_key()
+        )
+        assert load_instance(path).content_key() == inst.content_key()
+
+    def test_fingerprint_mismatch_rejected(self):
+        inst = _inst(seed=1, size=8, m=4)
+        data = instance_to_dict(inst)
+        # Scale one task uniformly: still a valid profile, different
+        # content — only the fingerprint check can catch it.
+        data["tasks"][0]["times"] = [
+            2.0 * x for x in data["tasks"][0]["times"]
+        ]
+        with pytest.raises(ValueError, match="fingerprint mismatch"):
+            instance_from_dict(data)
+
+    def test_other_fingerprint_version_skips_verification(self):
+        # Files from a build with a different digest layout must stay
+        # loadable; only the comparability of the check is lost.
+        inst = _inst(seed=1, size=8, m=4)
+        data = instance_to_dict(inst)
+        data["fingerprint"] = "0" * 64  # would mismatch if compared
+        data["fingerprint_version"] = 999
+        assert instance_from_dict(data).content_key() == (
+            inst.content_key()
+        )
+
+    def test_legacy_dict_without_fingerprint_loads(self):
+        inst = _inst()
+        data = instance_to_dict(inst)
+        del data["fingerprint"]
+        assert instance_from_dict(data).content_key() == (
+            inst.content_key()
+        )
+
+
+class TestTimeValidation:
+    def _data(self):
+        return instance_to_dict(_inst(size=6, m=4))
+
+    @pytest.mark.parametrize(
+        "bad", [float("nan"), -1.0, 0.0, float("inf")]
+    )
+    def test_bad_times_rejected_with_task_and_slot(self, bad):
+        data = self._data()
+        del data["fingerprint"]
+        data["tasks"][2]["times"][1] = bad
+        with pytest.raises(ValueError, match=r"task 2 .*p\(2\)"):
+            instance_from_dict(data)
+
+    @pytest.mark.parametrize("bad", ["abc", None])
+    def test_non_numeric_times_rejected_with_task_context(self, bad):
+        data = self._data()
+        del data["fingerprint"]
+        data["tasks"][2]["times"][1] = bad
+        with pytest.raises(ValueError, match="task 2 "):
+            instance_from_dict(data)
+
+    def test_nan_message_names_the_value(self):
+        data = self._data()
+        del data["fingerprint"]
+        data["tasks"][0]["times"][0] = math.nan
+        with pytest.raises(ValueError, match="(?i)task 0 .*nan"):
+            instance_from_dict(data)
+
+    def test_non_dict_task_entry_rejected(self):
+        data = self._data()
+        del data["fingerprint"]
+        data["tasks"][1] = "not-a-task"
+        with pytest.raises(ValueError, match="task 1"):
+            instance_from_dict(data)
