@@ -7,35 +7,45 @@ bench measures Cmax/C* (C* = LP (9) optimum <= OPT, so the reported number
 shape, asserted below: every observed ratio is far below the proven r(m) —
 typically 1.0–1.8 — and the bound is never violated.
 
+The grid is declared as a :class:`repro.experiments.CampaignSpec` — the
+same shape committed as ``experiments/specs/paper_tables.toml`` — and
+this module is a thin wrapper that sweeps its expansion; run the
+campaign CLI instead for the resumable version with the HTML report.
+
 Run:  pytest benchmarks/bench_empirical_ratio.py --benchmark-only -s
 """
 
 from repro import jz_schedule
-from repro.workloads import make_instance
+from repro.experiments import CampaignSpec
 
-FAMILIES = [
-    "layered",
-    "erdos_renyi",
-    "fork_join",
-    "cholesky",
-    "stencil",
-    "independent",
-]
-MACHINES = [4, 8, 16]
-SEEDS = [0, 1, 2]
+SPEC = CampaignSpec(
+    name="empirical_ratio",
+    families=(
+        "layered",
+        "erdos_renyi",
+        "fork_join",
+        "cholesky",
+        "stencil",
+        "independent",
+    ),
+    sizes=(30,),
+    machines=(4, 8, 16),
+    seeds=(0, 1, 2),
+    strategies=(("jz", "earliest-start"),),
+)
 
 
 def run_grid():
     rows = []
-    for family in FAMILIES:
-        for m in MACHINES:
-            ratios = []
-            for seed in SEEDS:
-                inst = make_instance(family, 30, m, model="power", seed=seed)
-                res = jz_schedule(inst)
-                ratios.append(
-                    (res.observed_ratio, res.certificate.ratio_bound)
-                )
+    by_group = {}
+    for cell in SPEC.expand():
+        res = jz_schedule(cell.instance())
+        by_group.setdefault((cell.family, cell.m), []).append(
+            (res.observed_ratio, res.certificate.ratio_bound)
+        )
+    for family in SPEC.families:
+        for m in SPEC.machines:
+            ratios = by_group[(family, m)]
             mean = sum(r for r, _ in ratios) / len(ratios)
             worst = max(r for r, _ in ratios)
             bound = ratios[0][1]
@@ -61,6 +71,8 @@ def test_empirical_ratios_below_proven_bound(benchmark, capsys):
 
 
 def test_bench_jz_midsize(benchmark):
+    from repro.workloads import make_instance
+
     inst = make_instance("layered", 30, 8, model="power", seed=0)
     res = benchmark(jz_schedule, inst)
     assert res.observed_ratio <= res.certificate.ratio_bound

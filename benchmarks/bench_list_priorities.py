@@ -17,27 +17,36 @@ from repro.core import (
     round_fractional_times,
     solve_allotment_lp,
 )
-from repro.workloads import make_instance
+from repro.experiments import CampaignSpec
 
-FAMILIES = ["layered", "cholesky", "fork_join", "stencil"]
 M = 8
+
+#: Instance grid shared with the campaign subsystem: the sweep reuses
+#: one LP solution per instance across all priority rules, so it walks
+#: the *instance* axes only (``instance_cells``), not the full cross.
+SPEC = CampaignSpec(
+    name="list_priorities",
+    families=("layered", "cholesky", "fork_join", "stencil"),
+    sizes=(28,),
+    machines=(M,),
+    seeds=(0, 1, 2),
+)
 
 
 def sweep():
     params = jz_parameters(M)
     totals = {p: 0.0 for p in PRIORITY_RULES}
     runs = 0
-    for family in FAMILIES:
-        for seed in range(3):
-            inst = make_instance(family, 28, M, model="power", seed=seed)
-            lp = solve_allotment_lp(inst)
-            alloc = round_fractional_times(inst, lp.x, params.rho)
-            for p in PRIORITY_RULES:
-                s = list_schedule_with_priority(
-                    inst, alloc, mu=params.mu, priority=p
-                )
-                totals[p] += s.makespan / lp.objective
-            runs += 1
+    for cell in SPEC.instance_cells():
+        inst = cell.instance()
+        lp = solve_allotment_lp(inst)
+        alloc = round_fractional_times(inst, lp.x, params.rho)
+        for p in PRIORITY_RULES:
+            s = list_schedule_with_priority(
+                inst, alloc, mu=params.mu, priority=p
+            )
+            totals[p] += s.makespan / lp.objective
+        runs += 1
     return {p: totals[p] / runs for p in PRIORITY_RULES}, runs
 
 

@@ -11,6 +11,11 @@ divided by the *same* per-instance certified lower bound
 (:func:`repro.lower_bounds`, LP-backed), not by whatever bound the
 strategy itself produced.
 
+The instance pool is declared as a :class:`repro.experiments.CampaignSpec`
+grid (3 DAG shapes × 2 models × a few seeds) — shared shape with the
+campaign subsystem — and this script remains the thin JSON-writing
+wrapper around it.
+
 Run:  PYTHONPATH=src python benchmarks/bench_strategies.py [--smoke] [-o OUT]
 
 ``--smoke`` shrinks the pool for CI (wired into the bench-smoke job as
@@ -25,25 +30,25 @@ import platform
 import sys
 
 from repro import lower_bounds
+from repro.experiments import CampaignSpec
 from repro.pipeline import SchedulingPipeline, list_strategies
 from repro.schedule import validate_schedule
-from repro.workloads import make_instance
 
 
 def build_pool(smoke):
-    """Fixed instance pool: 3 DAG shapes × 2 models × a few draws each."""
+    """Fixed instance pool from the declarative grid: 3 DAG shapes ×
+    2 models × a few seeds each."""
     size, m = (10, 4) if smoke else (40, 8)
     draws = 2 if smoke else 4
-    specs = [
-        (family, model)
-        for family in ("layered", "fork_join", "series_parallel")
-        for model in ("power", "amdahl")
-        for _ in range(draws)
-    ]
-    return [
-        make_instance(family, size, m, model=model, seed=1000 + k)
-        for k, (family, model) in enumerate(specs)
-    ]
+    spec = CampaignSpec(
+        name="strategies_pool",
+        families=("layered", "fork_join", "series_parallel"),
+        models=("power", "amdahl"),
+        sizes=(size,),
+        machines=(m,),
+        seeds=tuple(range(1000, 1000 + draws)),
+    )
+    return [cell.instance() for cell in spec.instance_cells()]
 
 
 def bench_combo(algorithm, priority, pool, reference_bounds):

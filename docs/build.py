@@ -1,0 +1,659 @@
+#!/usr/bin/env python3
+"""Docs build: Markdown sources + generated references → static site.
+
+Zero-dependency by design: the repository's hard constraint is "no new
+packages", so instead of requiring mkdocs/sphinx this script *is* the
+docs build — a deterministic static-site generator with the properties
+a real one has:
+
+* **Generated reference pages** are produced at build time by importing
+  the live package: the strategy registry page comes from
+  ``repro.pipeline.list_strategies()``, the campaign-spec schema page
+  from ``repro.experiments.spec_schema()``, the CLI page from the
+  argparse tree — none of them can drift from the code.
+* **Warnings are errors** (``--strict``, the CI default): a relative
+  link to a page or anchor that does not exist, a heading-anchor
+  collision, an unclosed code fence or a page missing from the nav
+  fails the build with a file:line diagnostic.
+* The output under ``site/`` is self-contained (one CSS string, no JS,
+  no external assets) and safe to upload as a CI artifact.
+
+Usage::
+
+    PYTHONPATH=src python docs/build.py --strict [-o site]
+
+The Markdown dialect is the GitHub-flavored subset the pages use:
+ATX headings, fenced code blocks, pipe tables, ordered/unordered lists,
+blockquotes, horizontal rules, inline code/bold/italic/links/images.
+"""
+
+from __future__ import annotations
+
+import argparse
+import html
+import re
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+DOCS_DIR = Path(__file__).resolve().parent
+ROOT = DOCS_DIR.parent
+
+#: Site navigation: (page path relative to the site root, nav title).
+#: Every committed and generated page must appear here — an orphan
+#: page is a build error, a nav entry without a page likewise.
+NAV: Tuple[Tuple[str, str], ...] = (
+    ("index.md", "Overview"),
+    ("architecture.md", "Architecture"),
+    ("campaigns.md", "Experiment campaigns"),
+    ("service.md", "Solver service & HTTP API"),
+    ("performance.md", "Performance"),
+    ("reference/strategies.md", "Reference: strategies"),
+    ("reference/campaign-spec.md", "Reference: campaign specs"),
+    ("reference/cli.md", "Reference: CLI"),
+)
+
+#: Pages produced by generators rather than committed files.
+GENERATED = {
+    "reference/strategies.md",
+    "reference/campaign-spec.md",
+    "reference/cli.md",
+}
+
+
+class BuildError(Exception):
+    """A fatal docs-build problem (bad source layout)."""
+
+
+# ---------------------------------------------------------------------------
+# generated reference pages (imported from the live package)
+# ---------------------------------------------------------------------------
+def gen_strategies() -> str:
+    from repro.pipeline import list_strategies
+
+    strategies = list_strategies()
+    lines = [
+        "# Strategy registry reference",
+        "",
+        "*Generated at build time from "
+        "`repro.pipeline.list_strategies()` — never edited by hand.*",
+        "",
+        f"**{len(strategies)}** registered strategies: "
+        f"{sum(1 for s in strategies if s.kind == 'allotment')} "
+        "allotment (phase 1, `--algorithm`) and "
+        f"{sum(1 for s in strategies if s.kind == 'phase2')} "
+        "phase-2 priority rules (`--priority`).",
+        "",
+        "| Kind | Name | Aliases | Guarantee | Summary |",
+        "| --- | --- | --- | --- | --- |",
+    ]
+    for info in strategies:
+        aliases = ", ".join(f"`{a}`" for a in info.aliases) or "—"
+        if info.kind == "allotment":
+            guarantee = "—"
+        else:
+            guarantee = (
+                "carries r(m)" if info.carries_guarantee else "ablation"
+            )
+        lines.append(
+            f"| {info.kind} | `{info.name}` | {aliases} | {guarantee} "
+            f"| {info.summary or '—'} |"
+        )
+    lines += [
+        "",
+        "`Guarantee` applies to phase-2 rules: the paper's proven "
+        "approximation ratio r(m) is an analysis artifact of the whole "
+        "composition, so the pipeline only claims it for rules marked "
+        "*carries r(m)* (see `StrategyInfo.carries_guarantee`).",
+        "",
+        "Registering a new strategy (one decorated function) enrolls "
+        "it in the pipeline, the batch engine, the CLI, the campaign "
+        "subsystem and this page — see "
+        "[Architecture](../architecture.md#adding-a-strategy).",
+        "",
+    ]
+    return "\n".join(lines)
+
+
+def gen_campaign_spec() -> str:
+    from repro.experiments import spec_schema
+
+    sections: Dict[str, List] = {}
+    for section, key, typ, required, default, desc in spec_schema():
+        sections.setdefault(section, []).append(
+            (key, typ, required, default, desc)
+        )
+    titles = {
+        "": ("Top level", ""),
+        "grid": ("`[grid]` — the instance axes",
+                 "The cross product of these lists is the instance "
+                 "grid; one instance per (family, model, size, "
+                 "machines, seed) tuple."),
+        "strategies": ("`[[strategies]]` — strategy pairs",
+                       "One table per pair; every instance is solved "
+                       "by every pair.  Names and aliases come from "
+                       "the [strategy registry](strategies.md)."),
+        "report": ("`[report]` — report options", ""),
+    }
+    lines = [
+        "# Campaign spec reference",
+        "",
+        "*Generated at build time from "
+        "`repro.experiments.spec_schema()` — never edited by hand.*",
+        "",
+        "Campaign specs are TOML (or JSON) files validated by "
+        "`repro.experiments.load_spec`; unknown keys are rejected. "
+        "See [Experiment campaigns](../campaigns.md) for the "
+        "workflow.",
+        "",
+    ]
+    for section in ("", "grid", "strategies", "report"):
+        title, blurb = titles[section]
+        lines += [f"## {title}", ""]
+        if blurb:
+            lines += [blurb, ""]
+        lines += [
+            "| Key | Type | Required | Default | Description |",
+            "| --- | --- | --- | --- | --- |",
+        ]
+        for key, typ, required, default, desc in sections[section]:
+            default_txt = "—" if required else f"`{default!r}`"
+            lines.append(
+                f"| `{key}` | {typ} | {'yes' if required else 'no'} "
+                f"| {default_txt} | {desc} |"
+            )
+        lines.append("")
+    smoke = (ROOT / "experiments/specs/smoke.toml").read_text()
+    lines += [
+        "## Example: the committed smoke spec",
+        "",
+        "```toml",
+        smoke.rstrip(),
+        "```",
+        "",
+    ]
+    return "\n".join(lines)
+
+
+def gen_cli() -> str:
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    lines = [
+        "# CLI reference",
+        "",
+        "*Generated at build time from the `repro-sched` argparse "
+        "tree — never edited by hand.*",
+        "",
+        "Invoke as `repro-sched` (installed console script) or "
+        "`python -m repro`.",
+        "",
+        "```",
+        parser.format_help().rstrip(),
+        "```",
+        "",
+    ]
+    subactions = [
+        a for a in parser._actions
+        if isinstance(a, argparse._SubParsersAction)
+    ]
+    for action in subactions:
+        for name, sub in action.choices.items():
+            lines += [f"## `{name}`", "", "```",
+                      sub.format_help().rstrip(), "```", ""]
+    return "\n".join(lines)
+
+
+GENERATORS = {
+    "reference/strategies.md": gen_strategies,
+    "reference/campaign-spec.md": gen_campaign_spec,
+    "reference/cli.md": gen_cli,
+}
+
+
+# ---------------------------------------------------------------------------
+# markdown → html (the GitHub-flavored subset the pages use)
+# ---------------------------------------------------------------------------
+_INLINE_CODE = re.compile(r"`([^`]+)`")
+_BOLD = re.compile(r"\*\*(.+?)\*\*")
+_ITALIC = re.compile(r"(?<![\w*])\*([^*\n]+)\*(?![\w*])")
+_IMAGE = re.compile(r"!\[([^\]]*)\]\(([^)\s]+)\)")
+_LINK = re.compile(r"\[([^\]]+)\]\(([^)\s]+)\)")
+
+
+def slugify(text: str) -> str:
+    """GitHub-style heading slug (close enough for our link checking)."""
+    text = re.sub(r"`([^`]*)`", r"\1", text)
+    text = re.sub(r"[^\w\s-]", "", text.lower())
+    return re.sub(r"[\s]+", "-", text.strip())
+
+
+class PageBuilder:
+    """Convert one Markdown page, collecting links/anchors/warnings."""
+
+    def __init__(self, path: str, text: str, warn):
+        self.path = path
+        self.lines = text.splitlines()
+        self.warn = warn
+        self.anchors: List[str] = []
+        self.links: List[Tuple[int, str]] = []  # (lineno, target)
+        self.title: Optional[str] = None
+
+    # -- inline ---------------------------------------------------------
+    def _inline(self, text: str, lineno: int) -> str:
+        # Protect code spans from further inline processing.
+        code_spans: List[str] = []
+
+        def stash_code(match) -> str:
+            code_spans.append(
+                f"<code>{html.escape(match.group(1))}</code>"
+            )
+            return f"\x00{len(code_spans) - 1}\x00"
+
+        text = _INLINE_CODE.sub(stash_code, text)
+        text = html.escape(text, quote=False)
+
+        def sub_image(match) -> str:
+            alt, target = match.group(1), match.group(2)
+            self.links.append((lineno, target))
+            return (
+                f'<img src="{html.escape(target, quote=True)}" '
+                f'alt="{html.escape(alt, quote=True)}">'
+            )
+
+        def sub_link(match) -> str:
+            label, target = match.group(1), match.group(2)
+            self.links.append((lineno, target))
+            href = _md_href(target)
+            return (
+                f'<a href="{html.escape(href, quote=True)}">'
+                f"{label}</a>"
+            )
+
+        text = _IMAGE.sub(sub_image, text)
+        text = _LINK.sub(sub_link, text)
+        text = _BOLD.sub(r"<strong>\1</strong>", text)
+        text = _ITALIC.sub(r"<em>\1</em>", text)
+        for k, span in enumerate(code_spans):
+            text = text.replace(f"\x00{k}\x00", span)
+        return text
+
+    # -- blocks ---------------------------------------------------------
+    def build(self) -> str:
+        out: List[str] = []
+        i = 0
+        n = len(self.lines)
+        while i < n:
+            line = self.lines[i]
+            stripped = line.strip()
+            if not stripped:
+                i += 1
+                continue
+            if stripped.startswith("```"):
+                i = self._code_block(out, i)
+                continue
+            m = re.match(r"^(#{1,6})\s+(.*)$", stripped)
+            if m:
+                level = len(m.group(1))
+                raw = m.group(2).strip()
+                slug = slugify(raw)
+                if slug in self.anchors:
+                    self.warn(
+                        self.path, i + 1,
+                        f"duplicate heading anchor #{slug}"
+                    )
+                self.anchors.append(slug)
+                if self.title is None:
+                    self.title = re.sub(r"`", "", raw)
+                out.append(
+                    f'<h{level} id="{slug}">'
+                    f"{self._inline(raw, i + 1)}</h{level}>"
+                )
+                i += 1
+                continue
+            if stripped.startswith("|"):
+                i = self._table(out, i)
+                continue
+            if re.match(r"^(-{3,}|\*{3,})$", stripped):
+                out.append("<hr>")
+                i += 1
+                continue
+            if stripped.startswith(">"):
+                i = self._blockquote(out, i)
+                continue
+            if re.match(r"^([-*+]|\d+\.)\s+", stripped):
+                i = self._list(out, i)
+                continue
+            i = self._paragraph(out, i)
+        return "\n".join(out)
+
+    def _code_block(self, out: List[str], i: int) -> int:
+        lang = self.lines[i].strip()[3:].strip()
+        body: List[str] = []
+        j = i + 1
+        while j < len(self.lines):
+            if self.lines[j].strip().startswith("```"):
+                cls = f' class="language-{html.escape(lang)}"' if lang \
+                    else ""
+                out.append(
+                    f"<pre><code{cls}>"
+                    + html.escape("\n".join(body))
+                    + "</code></pre>"
+                )
+                return j + 1
+            body.append(self.lines[j])
+            j += 1
+        self.warn(self.path, i + 1, "unclosed code fence")
+        out.append(
+            "<pre><code>" + html.escape("\n".join(body))
+            + "</code></pre>"
+        )
+        return j
+
+    def _table(self, out: List[str], i: int) -> int:
+        rows: List[Tuple[int, List[str]]] = []
+        j = i
+        while j < len(self.lines) and self.lines[j].strip().startswith("|"):
+            cells = [
+                c.strip()
+                for c in self.lines[j].strip().strip("|").split("|")
+            ]
+            rows.append((j + 1, cells))
+            j += 1
+        if len(rows) < 2 or not re.match(
+            r"^[\s:|-]+$", "|".join(rows[1][1])
+        ):
+            self.warn(
+                self.path, i + 1,
+                "pipe table without a separator row"
+            )
+            for lineno, cells in rows:
+                out.append(
+                    "<p>" + self._inline(" | ".join(cells), lineno)
+                    + "</p>"
+                )
+            return j
+        header = rows[0]
+        out.append("<table><thead><tr>")
+        for cell in header[1]:
+            out.append(f"<th>{self._inline(cell, header[0])}</th>")
+        out.append("</tr></thead><tbody>")
+        width = len(header[1])
+        for lineno, cells in rows[2:]:
+            if len(cells) != width:
+                self.warn(
+                    self.path, lineno,
+                    f"table row has {len(cells)} cells, header has "
+                    f"{width}"
+                )
+            out.append("<tr>")
+            for cell in cells:
+                out.append(f"<td>{self._inline(cell, lineno)}</td>")
+            out.append("</tr>")
+        out.append("</tbody></table>")
+        return j
+
+    def _blockquote(self, out: List[str], i: int) -> int:
+        body: List[str] = []
+        j = i
+        while j < len(self.lines) and self.lines[j].strip().startswith(">"):
+            body.append(self.lines[j].strip()[1:].strip())
+            j += 1
+        out.append(
+            "<blockquote><p>"
+            + self._inline(" ".join(body), i + 1)
+            + "</p></blockquote>"
+        )
+        return j
+
+    def _list(self, out: List[str], i: int) -> int:
+        ordered = bool(re.match(r"^\d+\.", self.lines[i].strip()))
+        tag = "ol" if ordered else "ul"
+        out.append(f"<{tag}>")
+        j = i
+        item: List[str] = []
+
+        def flush() -> None:
+            if item:
+                out.append(
+                    f"<li>{self._inline(' '.join(item), j)}</li>"
+                )
+                item.clear()
+
+        while j < len(self.lines):
+            stripped = self.lines[j].strip()
+            m = re.match(r"^([-*+]|\d+\.)\s+(.*)$", stripped)
+            if m:
+                flush()
+                item.append(m.group(2))
+            elif stripped and self.lines[j].startswith(("  ", "\t")):
+                item.append(stripped)  # continuation line
+            else:
+                break
+            j += 1
+        flush()
+        out.append(f"</{tag}>")
+        return j
+
+    def _paragraph(self, out: List[str], i: int) -> int:
+        body: List[str] = []
+        j = i
+        while j < len(self.lines):
+            stripped = self.lines[j].strip()
+            if body and (
+                not stripped
+                or stripped.startswith(("```", "#", "|", ">"))
+                or re.match(r"^([-*+]|\d+\.)\s+", stripped)
+            ):
+                break
+            if not body and stripped.startswith("#"):
+                # A '#' line that reached the paragraph handler is not
+                # a valid ATX heading (no space, or 7+ hashes).  Warn
+                # and swallow it as text — critically, *advance*: every
+                # block handler must consume at least one line or the
+                # build loop would spin forever.
+                self.warn(
+                    self.path, j + 1,
+                    f"malformed heading {stripped.split()[0]!r} "
+                    "(use 1-6 '#' followed by a space)",
+                )
+            body.append(stripped)
+            j += 1
+        out.append(f"<p>{self._inline(' '.join(body), i + 1)}</p>")
+        return j
+
+
+def _md_href(target: str) -> str:
+    """Rewrite inter-page ``.md`` links to the rendered ``.html``."""
+    if target.startswith(("http://", "https://", "mailto:")):
+        return target
+    page, _, anchor = target.partition("#")
+    if page.endswith(".md"):
+        page = page[:-3] + ".html"
+    return page + (f"#{anchor}" if anchor else "")
+
+
+# ---------------------------------------------------------------------------
+# site assembly
+# ---------------------------------------------------------------------------
+_STYLE = """
+:root { color-scheme: light; }
+body { font-family: -apple-system, 'Segoe UI', sans-serif; margin: 0;
+       color: #1a1a1a; line-height: 1.55; }
+.layout { display: flex; min-height: 100vh; }
+nav { width: 15.5rem; flex-shrink: 0; background: #f7f7f8;
+      border-right: 1px solid #e3e3e6; padding: 1.25rem 1rem; }
+nav .brand { font-weight: 700; margin-bottom: 1rem; display: block;
+             color: #1a1a1a; text-decoration: none; }
+nav a { display: block; padding: 0.28rem 0.5rem; border-radius: 5px;
+        color: #333; text-decoration: none; font-size: 0.92rem; }
+nav a:hover { background: #ececf0; }
+nav a.current { background: #e2e8f0; font-weight: 600; }
+main { flex: 1; max-width: 52rem; padding: 2rem 2.5rem 4rem; }
+h1, h2, h3 { line-height: 1.25; }
+h1 { margin-top: 0; }
+a { color: #1351b4; }
+code { background: #f2f2f4; padding: 0.12rem 0.3rem; border-radius: 4px;
+       font-size: 0.9em; }
+pre { background: #f6f8fa; border: 1px solid #e3e3e6; border-radius: 6px;
+      padding: 0.8rem 1rem; overflow-x: auto; }
+pre code { background: none; padding: 0; font-size: 0.85rem; }
+table { border-collapse: collapse; margin: 1rem 0; font-size: 0.92rem; }
+th, td { border: 1px solid #d7d7db; padding: 0.35rem 0.65rem;
+         text-align: left; vertical-align: top; }
+th { background: #f2f2f4; }
+blockquote { border-left: 3px solid #d0d7de; margin: 1rem 0;
+             padding: 0.1rem 1rem; color: #555; }
+footer { margin-top: 3rem; color: #777; font-size: 0.85rem;
+         border-top: 1px solid #e3e3e6; padding-top: 0.75rem; }
+"""
+
+_TEMPLATE = """<!DOCTYPE html>
+<html lang="en"><head><meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>{title} — repro-jz-malleable docs</title>
+<style>{style}</style></head>
+<body><div class="layout">
+<nav><a class="brand" href="{root}index.html">repro-jz-malleable</a>
+{nav}</nav>
+<main>
+{body}
+<footer>repro-jz-malleable {version} — generated by docs/build.py
+(deterministic, zero-dependency docs build).</footer>
+</main></div></body></html>
+"""
+
+
+def build_site(out_dir: Path, strict: bool) -> int:
+    sys.path.insert(0, str(ROOT / "src"))
+    import repro
+
+    warnings: List[str] = []
+
+    def warn(path: str, lineno: int, message: str) -> None:
+        warnings.append(f"{path}:{lineno}: {message}")
+
+    # 1. Collect sources: committed pages + generated pages.
+    sources: Dict[str, str] = {}
+    for page, _title in NAV:
+        if page in GENERATED:
+            sources[page] = GENERATORS[page]()
+        else:
+            path = DOCS_DIR / page
+            if not path.is_file():
+                raise BuildError(
+                    f"nav page {page!r} not found at {path}"
+                )
+            sources[page] = path.read_text()
+    nav_pages = {page for page, _ in NAV}
+    for path in DOCS_DIR.rglob("*.md"):
+        rel = path.relative_to(DOCS_DIR).as_posix()
+        if rel == "README.md":
+            continue  # the build's own readme, not a site page
+        if rel not in nav_pages:
+            warn(rel, 1, "page exists but is missing from the nav")
+
+    # 2. Convert every page, collecting anchors and links.
+    builders: Dict[str, PageBuilder] = {}
+    bodies: Dict[str, str] = {}
+    for page, text in sources.items():
+        builder = PageBuilder(page, text, warn)
+        bodies[page] = builder.build()
+        builders[page] = builder
+
+    # 3. Check links (relative page links, anchors, repo files).
+    for page, builder in builders.items():
+        base = Path(page).parent
+        for lineno, target in builder.links:
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            ref, _, anchor = target.partition("#")
+            if not ref:  # same-page anchor
+                if anchor and anchor not in builder.anchors:
+                    warn(page, lineno, f"broken anchor #{anchor}")
+                continue
+            resolved = (base / ref).as_posix()
+            parts: List[str] = []
+            for piece in resolved.split("/"):
+                if piece == "..":
+                    if not parts:
+                        warn(
+                            page, lineno,
+                            f"link escapes the docs tree: {target}"
+                        )
+                        break
+                    parts.pop()
+                elif piece not in (".", ""):
+                    parts.append(piece)
+            else:
+                resolved = "/".join(parts)
+                if resolved in builders:
+                    if anchor and anchor not in builders[
+                        resolved
+                    ].anchors:
+                        warn(
+                            page, lineno,
+                            f"broken anchor {resolved}#{anchor}"
+                        )
+                elif not (
+                    (DOCS_DIR / resolved).exists()
+                    or (ROOT / resolved).exists()
+                ):
+                    warn(page, lineno, f"broken link: {target}")
+
+    # 4. Render.
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for page, body in bodies.items():
+        depth = page.count("/")
+        root_prefix = "../" * depth
+        nav_html = "\n".join(
+            f'<a href="{root_prefix}{p[:-3]}.html"'
+            + (' class="current"' if p == page else "")
+            + f">{html.escape(title)}</a>"
+            for p, title in NAV
+        )
+        target = out_dir / (page[:-3] + ".html")
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(_TEMPLATE.format(
+            title=html.escape(builders[page].title or page),
+            style=_STYLE,
+            nav=nav_html,
+            root=root_prefix,
+            body=body,
+            version=repro.__version__,
+        ))
+
+    for message in warnings:
+        print(f"WARNING: {message}", file=sys.stderr)
+    print(
+        f"docs: {len(bodies)} pages -> {out_dir} "
+        f"({len(warnings)} warning(s))"
+    )
+    if warnings and strict:
+        print("docs: failing: warnings are errors (--strict)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "-o", "--output", default=str(ROOT / "site"),
+        help="output directory (default: site/)",
+    )
+    ap.add_argument(
+        "--strict", action="store_true",
+        help="treat warnings (broken links, orphan pages, malformed "
+             "blocks) as errors",
+    )
+    args = ap.parse_args(argv)
+    try:
+        return build_site(Path(args.output), strict=args.strict)
+    except BuildError as exc:
+        print(f"docs: error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,69 +1,27 @@
-"""Workload analyzer: structural stats, scheduling results and ASCII plots.
+"""Workload report, the declarative way: a 20-line experiment campaign.
 
-A survey across the repository's DAG families, tying together the whole
-public API: for each family it prints the structural statistics
-(:mod:`repro.analysis`), the result of the paper's algorithm with its
-certificate, and an ASCII utilization-over-time profile so the schedule's
-shape is visible without matplotlib.
+Describes a small study as a :class:`repro.experiments.CampaignSpec`,
+runs it (re-running is free: finished cells replay from the campaign
+cache) and renders the self-contained Markdown + HTML report —
+per-strategy ratio tables, per-family breakdowns and Gantt SVGs.
 
-Run:  python examples/workload_report.py
+Run:  PYTHONPATH=src python examples/workload_report.py
 """
 
-from repro import jz_schedule
-from repro.analysis import instance_stats, parallelism_profile
-from repro.plotting import ascii_bars, ascii_line_chart
-from repro.workloads import make_instance
+from repro.experiments import CampaignRunner, CampaignSpec
+from repro.experiments.report import write_report
 
-FAMILIES = ["layered", "cholesky", "fft", "stencil", "fork_join", "chain"]
-M = 8
+spec = CampaignSpec(
+    name="workload_report",
+    description="Example: observed Cmax/C* across four DAG families.",
+    families=("layered", "cholesky", "stencil", "fork_join"),
+    sizes=(24,),
+    machines=(8,),
+    seeds=(17, 18),
+    strategies=(("jz", "earliest-start"), ("sequential", "earliest-start")),
+)
 
-
-def main() -> None:
-    header = (
-        f"{'family':>10} {'n':>4} {'depth':>5} {'width':>5} "
-        f"{'par':>6} {'C*':>8} {'Cmax':>8} {'ratio':>6} {'util':>5}"
-    )
-    print(header)
-    print("-" * len(header))
-    ratios = []
-    for family in FAMILIES:
-        inst = make_instance(family, 32, M, model="power", seed=17)
-        stats = instance_stats(inst)
-        res = jz_schedule(inst)
-        from repro.schedule import average_utilization
-
-        util = average_utilization(res.schedule)
-        ratios.append((family, res.observed_ratio))
-        print(
-            f"{family:>10} {stats.n_tasks:>4} {stats.depth:>5} "
-            f"{stats.width:>5} {stats.avg_parallelism:>6.2f} "
-            f"{res.certificate.lower_bound:>8.2f} {res.makespan:>8.2f} "
-            f"{res.observed_ratio:>6.3f} {util:>5.2f}"
-        )
-
-    print()
-    print(ascii_bars(
-        [f for f, _ in ratios],
-        [r for _, r in ratios],
-        width=40,
-        title="observed Cmax/C* by family (proven bound: "
-              f"{jz_schedule(make_instance('chain', 4, M, seed=0)).certificate.ratio_bound:.3f})",
-    ))
-
-    # Utilization-over-time of one schedule, as a line chart.
-    inst = make_instance("cholesky", 32, M, model="power", seed=17)
-    res = jz_schedule(inst)
-    prof = parallelism_profile(res.schedule, n_bins=60)
-    pts = [(k, v) for k, v in enumerate(prof)]
-    print()
-    print(ascii_line_chart(
-        {"u": pts},
-        width=62,
-        height=10,
-        title=f"busy processors over time (cholesky, m={M}): "
-              "high plateau then trailing critical path",
-    ))
-
-
-if __name__ == "__main__":
-    main()
+result = CampaignRunner(spec, workers=0).run()
+print(result.summary())
+paths = write_report(result.output_dir)
+print(f"report: {paths['markdown']} and {paths['html']}")

@@ -69,6 +69,21 @@ the batch engine's persistent process pool — every served schedule is
 bit-identical to a direct ``SchedulingPipeline`` solve.
 (:mod:`repro.service` is not imported here to keep ``import repro``
 lean; import it explicitly.)
+
+Experiments API (:mod:`repro.experiments`) — declarative campaigns::
+
+    from repro.experiments import CampaignRunner, load_spec
+    from repro.experiments.report import write_report
+
+    result = CampaignRunner(load_spec("experiments/specs/smoke.toml")).run()
+    result.summary()                  # cells, solved vs cached, errors
+    write_report(result.output_dir)   # Markdown + HTML with Gantt SVGs
+
+Campaigns expand a ``{family × model × size × m × seed} × {strategy
+pair}`` grid, execute it through the batch engine and persist every
+cell under its instance content fingerprint — interrupted runs resume,
+finished runs re-solve nothing (``repro campaign run|report|list`` on
+the CLI; like the service, not imported here — import it explicitly).
 """
 
 from .core import (
@@ -109,7 +124,7 @@ from .schedule import (
     validate_schedule,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AssumptionError",

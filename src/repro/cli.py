@@ -15,6 +15,10 @@
   on a process pool via :mod:`repro.engine`, writing JSON-lines results.
 * ``serve``      — run the scheduling daemon (:mod:`repro.service`):
   async solve broker + content-addressed result cache over local HTTP.
+* ``campaign``   — declarative experiment campaigns
+  (:mod:`repro.experiments`): ``campaign run spec.toml`` executes (or
+  resumes) a study grid, ``campaign report`` renders the Markdown +
+  HTML report, ``campaign list`` shows known campaign directories.
 
 ``solve``, ``demo``, ``batch`` and ``serve`` all accept ``--algorithm``
 (allotment strategy) and ``--priority`` (phase-2 rule); ``strategies``
@@ -60,6 +64,18 @@ examples:
 
 endpoints: POST /solve  GET /stats  GET /healthz  POST /shutdown
 client:    python -c "from repro.service import ServiceClient; ..."
+"""
+
+_CAMPAIGN_EPILOG = """\
+examples:
+  %(prog)s run experiments/specs/smoke.toml
+  %(prog)s run experiments/specs/paper_tables.toml -w 4
+  %(prog)s report                  # most recent campaign
+  %(prog)s report campaigns/smoke
+  %(prog)s list
+
+a campaign re-run skips every cell whose result is already in the
+campaign cache (content-fingerprint keyed); --fresh re-solves all.
 """
 
 
@@ -227,6 +243,57 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_strategy_options(sv)
+
+    c = sub.add_parser(
+        "campaign",
+        help="run and report declarative experiment campaigns",
+        epilog=_CAMPAIGN_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    csub = c.add_subparsers(dest="campaign_command", required=True)
+    cr = csub.add_parser(
+        "run", help="execute (or resume) a campaign spec",
+    )
+    cr.add_argument("spec", help="path to a campaign spec (.toml/.json)")
+    cr.add_argument(
+        "-w", "--workers", type=_workers_arg, default=None,
+        help=(
+            "process count, or 'auto' for the machine's cpu count "
+            "(default: auto; 0/1 = in-process)"
+        ),
+    )
+    cr.add_argument(
+        "-o", "--output", default=None, metavar="DIR",
+        help="campaign directory (default: campaigns/<name>)",
+    )
+    cr.add_argument(
+        "--fresh", action="store_true",
+        help="drop the campaign cache first; re-solve every cell",
+    )
+    cr.add_argument(
+        "--wave-size", type=int, default=None, metavar="N",
+        help="cells per flush wave (default: auto; the resume "
+             "granularity)",
+    )
+    cr.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="no per-cell progress lines",
+    )
+    cp = csub.add_parser(
+        "report", help="render report.md + report.html for a campaign",
+    )
+    cp.add_argument(
+        "target", nargs="?", default=None,
+        help=(
+            "campaign directory or spec file (default: the most "
+            "recently modified campaign under campaigns/)"
+        ),
+    )
+    cl = csub.add_parser("list", help="list known campaign directories")
+    cl.add_argument(
+        "--root", default=None, metavar="DIR",
+        help="directory to scan (default: campaigns/)",
+    )
     return p
 
 
@@ -461,6 +528,170 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0 if result.n_errors == 0 else 1
 
 
+def _campaign_root() -> "Path":
+    from pathlib import Path
+
+    from .experiments.runner import DEFAULT_ROOT
+
+    return Path(DEFAULT_ROOT)
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    from .experiments import CampaignRunner, SpecError, load_spec
+
+    try:
+        spec = load_spec(args.spec)
+    except SpecError as exc:
+        print(f"campaign run: {exc}", file=sys.stderr)
+        return 2
+    cells_total = spec.n_cells
+    done = [0]
+
+    def on_cell(record) -> None:
+        done[0] += 1
+        if args.quiet:
+            return
+        if record.ok:
+            via = "cache " if record.cached else "solved"
+            detail = f"ratio {record.observed_ratio:.4f}"
+        else:
+            via = "ERROR "
+            first = (record.error or "").strip().splitlines()
+            detail = first[-1] if first else "unknown error"
+        print(
+            f"[{done[0]:>{len(str(cells_total))}}/{cells_total}] "
+            f"{via} {record.cell.label}  {detail}",
+            file=sys.stderr,
+        )
+
+    runner = CampaignRunner(
+        spec,
+        workers=args.workers,
+        output_dir=args.output,
+        wave_size=args.wave_size,
+        on_cell=on_cell,
+    )
+    result = runner.run(fresh=args.fresh)
+    s = result.summary()
+    print(
+        f"campaign {s['campaign']}: {s['ok']}/{s['cells']} ok "
+        f"({s['solved']} solved, {s['cached']} from cache, "
+        f"{s['errors']} errors) in {s['wall_time']:.2f}s "
+        f"-> {s['output_dir']}",
+        file=sys.stderr,
+    )
+    print(
+        f"next: repro-sched campaign report {s['output_dir']}",
+        file=sys.stderr,
+    )
+    return 0 if result.n_errors == 0 else 1
+
+
+def _resolve_campaign_dir(target) -> "tuple[Optional[str], str]":
+    """Resolve a ``campaign report`` target to a campaign directory;
+    returns ``(dir, error)`` with exactly one of them set."""
+    from pathlib import Path
+
+    from .experiments import SpecError, load_spec
+
+    if target is None:
+        root = _campaign_root()
+        candidates = sorted(
+            (p for p in root.glob("*/spec.json")),
+            key=lambda p: p.stat().st_mtime,
+        ) if root.is_dir() else []
+        if not candidates:
+            return None, (
+                f"no campaigns under {root}/; run "
+                "'repro-sched campaign run <spec>' first or pass a "
+                "campaign directory"
+            )
+        return str(candidates[-1].parent), ""
+    path = Path(target)
+    if path.is_dir():
+        return str(path), ""
+    if path.is_file():
+        # A spec file: report on its default campaign directory.
+        try:
+            spec = load_spec(path)
+        except SpecError as exc:
+            return None, str(exc)
+        return str(_campaign_root() / spec.name), ""
+    return None, f"{target!r}: no such campaign directory or spec file"
+
+
+def _cmd_campaign_report(args: argparse.Namespace) -> int:
+    from .experiments.report import write_report
+
+    target, error = _resolve_campaign_dir(args.target)
+    if target is None:
+        print(f"campaign report: {error}", file=sys.stderr)
+        return 2
+    try:
+        paths = write_report(target)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"campaign report: {exc}", file=sys.stderr)
+        return 2
+    print(f"report written: {paths['markdown']}")
+    print(f"report written: {paths['html']}")
+    return 0
+
+
+def _cmd_campaign_list(args: argparse.Namespace) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from .experiments.runner import read_records
+
+    root = Path(args.root) if args.root else _campaign_root()
+    if not root.is_dir():
+        print(f"(no campaign directory {root}/)")
+        return 0
+    rows = []
+    for spec_path in sorted(root.glob("*/spec.json")):
+        directory = spec_path.parent
+        try:
+            name = _json.loads(spec_path.read_text()).get("name", "?")
+        except ValueError:
+            name = "?"
+        try:
+            records = read_records(directory)
+            ok = sum(1 for r in records if r.ok)
+            status = f"{ok}/{len(records)} ok"
+            if any(not r.ok for r in records):
+                status += f", {sum(1 for r in records if not r.ok)} errors"
+        except (OSError, ValueError):
+            status = "no records"
+        report = "yes" if (directory / "report.html").is_file() else "no"
+        rows.append((name, status, report, str(directory)))
+    if not rows:
+        print(f"(no campaigns under {root}/)")
+        return 0
+    headers = ("campaign", "cells", "report")
+    widths = [
+        max(len(headers[k]), max(len(r[k]) for r in rows))
+        for k in range(3)
+    ]
+    print(
+        f"{headers[0]:<{widths[0]}}  {headers[1]:<{widths[1]}}  "
+        f"{headers[2]:<{widths[2]}}  directory"
+    )
+    for name, status, report, directory in rows:
+        print(
+            f"{name:<{widths[0]}}  {status:<{widths[1]}}  "
+            f"{report:<{widths[2]}}  {directory}"
+        )
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    return {
+        "run": _cmd_campaign_run,
+        "report": _cmd_campaign_report,
+        "list": _cmd_campaign_list,
+    }[args.campaign_command](args)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -517,6 +748,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "validate": _cmd_validate,
         "batch": _cmd_batch,
         "serve": _cmd_serve,
+        "campaign": _cmd_campaign,
     }[args.command]
     return handler(args)
 

@@ -28,6 +28,25 @@ Deep, narrow graphs (chains) degenerate the level decomposition to one
 node per level, where per-level NumPy calls cost more than a tight
 Python loop; the kernels detect this shape and fall back to an
 equivalent scalar loop over the same CSR arrays.
+
+Example::
+
+    import numpy as np
+    from repro.dag import Dag
+    from repro.dag.csr import bottom_levels_kernel
+
+    dag = Dag(4, [(0, 1), (0, 2), (1, 3), (2, 3)])  # diamond
+    csr = dag.to_csr()                    # built once, cached on the Dag
+    csr.succ_indptr, csr.succ_indices     # CSR successor adjacency
+    csr.depths().n_levels                 # cached level decomposition
+    durations = np.asarray([2.0, 3.0, 1.0, 4.0])
+    bottom_levels_kernel(csr, durations)  # -> [9., 7., 5., 4.]
+    # == the per-node reference (repro.core.list_variants) bit for bit
+
+``Dag`` routes ``longest_path``/``ancestors``/``descendants`` through
+these kernels transparently; pickling a ``Dag`` ships only
+``(n, succ_indptr, succ_indices)`` (see ``Dag.__reduce__``), which is
+what keeps batch-pool serialization cheap.
 """
 
 from __future__ import annotations

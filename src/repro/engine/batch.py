@@ -32,6 +32,26 @@ Determinism: every record is computed by the same
 of that instance, and records are keyed by input position — so makespans
 and certificate bounds are bit-identical to the sequential path for
 *any* worker count (asserted in the test suite).
+
+Example::
+
+    from repro.engine import BatchRunner, write_jsonl
+    from repro.workloads import make_instance
+
+    instances = [
+        make_instance("erdos_renyi", 60, 8, seed=s) for s in range(16)
+    ]
+    result = BatchRunner(
+        workers=4, algorithm="ltw", priority="critical-path"
+    ).run(instances + ["extra_instance.json"])   # paths load in-worker
+    result.n_ok, result.throughput       # solved count, instances/s
+    result.records[0].observed_ratio     # == a direct pipeline solve
+    result.errors()                      # isolated failures, if any
+    write_jsonl(result.records, "records.jsonl")
+
+The service broker (:mod:`repro.service.broker`) and the campaign
+runner (:mod:`repro.experiments.runner`) both execute through this
+class, so their results inherit the same bit-identical guarantee.
 """
 
 from __future__ import annotations

@@ -1,0 +1,59 @@
+"""Declarative experiment campaigns: describe a study, run it, report it.
+
+The paper-style evidence of this repository — approximation ratios
+against the certified LP lower bound across workload families — used to
+live in ad-hoc benchmark scripts, each with its own hand-rolled
+``for family / for m / for seed`` loop.  This package turns that shape
+into a declarative, resumable subsystem:
+
+* :class:`CampaignSpec` (:mod:`~repro.experiments.spec`) — a validated
+  description of a study: a grid of
+  ``{DAG family × speedup model × size × machine count × seed}``
+  crossed with a list of ``{allotment strategy × phase-2 priority}``
+  pairs.  Specs load from TOML or JSON files or plain dicts, and
+  expand deterministically into :class:`CampaignCell` work items.
+* :class:`CampaignRunner` (:mod:`~repro.experiments.runner`) — executes
+  the grid through the batch engine (process-pool fan-out, per-cell
+  failure isolation) and persists every finished cell under the
+  instance's *content fingerprint* in the service result-cache spill
+  format, so an interrupted campaign resumes exactly where it stopped
+  and a finished one re-solves nothing.
+* :mod:`~repro.experiments.report` — aggregates the cell records into
+  per-strategy and per-family ratio/runtime tables and renders a
+  self-contained Markdown + HTML report with embedded Gantt SVGs and
+  an environment footer.
+
+Quickstart::
+
+    from repro.experiments import CampaignRunner, load_spec
+
+    spec = load_spec("experiments/specs/smoke.toml")
+    result = CampaignRunner(spec).run()       # resumable; re-run = no-op
+    print(result.summary())
+
+    from repro.experiments.report import write_report
+    paths = write_report(result.output_dir)   # report.md + report.html
+
+The same flow is exposed on the command line as
+``repro-sched campaign run|report|list``.
+"""
+
+from .runner import CampaignResult, CampaignRunner, CellRecord
+from .spec import (
+    CampaignCell,
+    CampaignSpec,
+    SpecError,
+    load_spec,
+    spec_schema,
+)
+
+__all__ = [
+    "CampaignCell",
+    "CampaignResult",
+    "CampaignRunner",
+    "CampaignSpec",
+    "CellRecord",
+    "SpecError",
+    "load_spec",
+    "spec_schema",
+]

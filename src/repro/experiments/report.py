@@ -1,0 +1,443 @@
+"""Self-documenting campaign reports: Markdown + HTML from cell records.
+
+:func:`write_report` reads a campaign directory produced by
+:class:`~repro.experiments.runner.CampaignRunner` and renders:
+
+* a **run summary** (cells, solved/cached/error counts, certified-bound
+  violations — always expected to be zero);
+* a **per-strategy table**: mean/max observed ratio against each cell's
+  own certified LP lower bound, plus mean solve time;
+* **per-family breakdowns** of the same numbers;
+* one representative **Gantt chart** per DAG family (SVG, rendered by
+  :func:`repro.schedule.render_gantt_svg` from the schedule recorded in
+  the campaign cache), embedded inline in the HTML report and written
+  as ``gantt_<family>.svg`` next to the Markdown one;
+* an **environment footer**: package version, Python/NumPy versions,
+  platform, CPU count — enough to say where the numbers came from.
+
+Both renderings are self-contained (no external assets, no JS).  All
+*result* content is deterministic given the campaign directory — the
+tables, Gantt SVGs and version fields re-render byte-identically; the
+one run-dependent field is the ``generated`` timestamp in the
+environment footer, which records when the report was rendered.
+
+Example::
+
+    from repro.experiments.report import write_report
+    paths = write_report("campaigns/smoke")
+    print(paths["markdown"], paths["html"])
+"""
+
+from __future__ import annotations
+
+import html
+import json
+import os
+import platform
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Tuple, Union
+
+from .. import __version__
+from ..io import schedule_from_dict
+from ..schedule import render_gantt_svg
+from ..service.cache import ResultCache
+from .runner import CellRecord, read_records
+from .spec import CampaignSpec
+
+__all__ = ["aggregate", "bound_violations", "write_report"]
+
+_PathLike = Union[str, Path]
+
+#: Observed ratio below ``1 - _BOUND_TOL`` counts as a violated
+#: certificate (the bound is a *lower* bound, so ratio >= 1 must hold
+#: up to LP solver tolerance).
+_BOUND_TOL = 1e-9
+
+
+# ---------------------------------------------------------------------------
+# aggregation
+# ---------------------------------------------------------------------------
+def aggregate(
+    records: Sequence[CellRecord],
+) -> Dict[str, Any]:
+    """Summary statistics over ok cells, grouped by strategy pair and
+    by (family, strategy pair).
+
+    Returns ``{"strategies": [...], "families": {family: [...]}}``
+    where each row dict carries the group key, cell count, mean/max/min
+    observed ratio and mean wall time.  Rows are sorted by mean ratio
+    (best strategy first), family sections by family name.
+    """
+    by_pair: Dict[Tuple[str, str], List[CellRecord]] = {}
+    by_family: Dict[str, Dict[Tuple[str, str], List[CellRecord]]] = {}
+    for rec in records:
+        if not rec.ok or rec.observed_ratio is None:
+            continue
+        pair = (rec.cell.algorithm, rec.cell.priority)
+        by_pair.setdefault(pair, []).append(rec)
+        by_family.setdefault(rec.cell.family, {}).setdefault(
+            pair, []
+        ).append(rec)
+    return {
+        "strategies": _rows(by_pair),
+        "families": {
+            family: _rows(groups)
+            for family, groups in sorted(by_family.items())
+        },
+    }
+
+
+def _rows(groups: Dict[Tuple[str, str], List[CellRecord]]
+          ) -> List[Dict[str, Any]]:
+    rows = []
+    for (algorithm, priority), recs in groups.items():
+        ratios = [r.observed_ratio for r in recs]
+        times = [r.wall_time for r in recs if r.wall_time is not None]
+        rows.append({
+            "algorithm": algorithm,
+            "priority": priority,
+            "cells": len(recs),
+            "mean_ratio": sum(ratios) / len(ratios),
+            "max_ratio": max(ratios),
+            "min_ratio": min(ratios),
+            "mean_time": sum(times) / len(times) if times else None,
+        })
+    rows.sort(key=lambda r: (r["mean_ratio"], r["algorithm"],
+                             r["priority"]))
+    return rows
+
+
+def bound_violations(records: Sequence[CellRecord]) -> List[CellRecord]:
+    """Ok cells whose observed ratio dips below 1 (beyond tolerance) —
+    i.e. a makespan under its own certified lower bound.  Always empty
+    for a correct solver; the report prints the count and the
+    campaign-smoke CI job fails on any entry."""
+    return [
+        r for r in records
+        if r.ok and r.observed_ratio is not None
+        and r.observed_ratio < 1.0 - _BOUND_TOL
+    ]
+
+
+def _environment() -> List[Tuple[str, str]]:
+    try:
+        import numpy
+        numpy_version = numpy.__version__
+    except Exception:  # pragma: no cover - numpy is a hard dependency
+        numpy_version = "unavailable"
+    return [
+        ("repro-jz-malleable", __version__),
+        ("python", platform.python_version()),
+        ("numpy", numpy_version),
+        ("platform", platform.platform()),
+        ("cpu_count", str(os.cpu_count())),
+        ("generated", time.strftime("%Y-%m-%d %H:%M:%S %Z")),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# gantt extraction
+# ---------------------------------------------------------------------------
+def _family_gantts(
+    output_dir: Path,
+    spec: CampaignSpec,
+    records: Sequence[CellRecord],
+) -> List[Tuple[str, str]]:
+    """One ``(family, svg)`` per family: the first ok cell of the
+    best-guess representative strategy (the spec's first pair), with
+    the schedule replayed from the campaign cache.  Families whose
+    schedule is not in the cache (e.g. it was deleted) are skipped —
+    the tables never depend on the cache."""
+    if not spec.gantts:
+        return []
+    cache_dir = output_dir / "cache"
+    if not cache_dir.is_dir():
+        return []
+    cache = ResultCache(capacity=1, spill_dir=cache_dir)
+    first_pair = spec.strategies[0]
+    out = []
+    for family in spec.families:
+        rec = next(
+            (
+                r for r in records
+                if r.ok and r.cell.family == family
+                and (r.cell.algorithm, r.cell.priority) == first_pair
+                and r.instance_key is not None
+            ),
+            None,
+        )
+        if rec is None:
+            continue
+        payload = cache.get(
+            (rec.instance_key, rec.cell.algorithm, rec.cell.priority)
+        )
+        if payload is None or payload.get("schedule") is None:
+            continue
+        try:
+            schedule = schedule_from_dict(payload["schedule"])
+        except (ValueError, KeyError, TypeError):
+            continue
+        title = (
+            f"{rec.name or family} — {rec.cell.algorithm} x "
+            f"{rec.cell.priority}, Cmax={rec.makespan:.3f} "
+            f"(C*={rec.lower_bound:.3f}, "
+            f"ratio {rec.observed_ratio:.3f})"
+        )
+        out.append((family, render_gantt_svg(schedule, title=title)))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# rendering
+# ---------------------------------------------------------------------------
+def _fmt(value, digits=4) -> str:
+    if value is None:
+        return "-"
+    return f"{value:.{digits}f}"
+
+
+def _md_table(headers: Sequence[str], rows: Sequence[Sequence[str]]
+              ) -> List[str]:
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "|" + "|".join(" --- " for _ in headers) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return lines
+
+
+def _strategy_rows(rows: Sequence[Dict[str, Any]]) -> List[List[str]]:
+    return [
+        [
+            f"`{r['algorithm']} x {r['priority']}`",
+            str(r["cells"]),
+            _fmt(r["mean_ratio"]),
+            _fmt(r["max_ratio"]),
+            _fmt(r["min_ratio"]),
+            "-" if r["mean_time"] is None
+            else f"{r['mean_time'] * 1e3:.1f} ms",
+        ]
+        for r in rows
+    ]
+
+
+_TABLE_HEADERS = (
+    "strategy", "cells", "mean ratio", "max ratio", "min ratio",
+    "mean solve time",
+)
+
+
+def render_markdown(
+    spec: CampaignSpec,
+    records: Sequence[CellRecord],
+    gantt_files: Sequence[Tuple[str, str]] = (),
+) -> str:
+    """The Markdown report body (``gantt_files`` maps family →
+    relative SVG path to link)."""
+    agg = aggregate(records)
+    violations = bound_violations(records)
+    ok = [r for r in records if r.ok]
+    cached = sum(1 for r in records if r.cached)
+    lines = [f"# Campaign report: {spec.name}", ""]
+    if spec.description:
+        lines += [spec.description, ""]
+    if spec.source:
+        lines += [f"Spec: `{spec.source}`", ""]
+    lines += [
+        "## Run summary",
+        "",
+        f"- cells: **{len(records)}** "
+        f"({len(ok)} ok, {len(records) - len(ok)} errors)",
+        f"- served from resume cache this run: {cached}",
+        f"- certified-bound violations (observed ratio < 1): "
+        f"**{len(violations)}**",
+        "",
+        "Observed ratio = makespan / the cell's own certified LP lower "
+        "bound (a lower bound on OPT, so every value must be >= 1; "
+        "values are *over*-estimates of the true approximation ratio).",
+        "",
+        "## Results by strategy",
+        "",
+    ]
+    lines += _md_table(_TABLE_HEADERS, _strategy_rows(agg["strategies"]))
+    lines += ["", "## Results by DAG family", ""]
+    for family, rows in agg["families"].items():
+        lines += [f"### {family}", ""]
+        lines += _md_table(_TABLE_HEADERS, _strategy_rows(rows))
+        lines.append("")
+    if gantt_files:
+        lines += ["## Representative schedules", ""]
+        for family, rel_path in gantt_files:
+            lines += [f"### {family}", "", f"![{family}]({rel_path})", ""]
+    failures = [r for r in records if not r.ok]
+    if failures:
+        lines += ["## Failures", ""]
+        for r in failures:
+            first = (r.error or "").strip().splitlines()
+            lines.append(
+                f"- `{r.cell.label}`: "
+                f"{first[-1] if first else 'unknown error'}"
+            )
+        lines.append("")
+    if violations:
+        lines += ["## Bound violations", ""]
+        for r in violations:
+            lines.append(
+                f"- `{r.cell.label}`: observed ratio "
+                f"{r.observed_ratio!r} < 1"
+            )
+        lines.append("")
+    lines += ["## Environment", ""]
+    for key, value in _environment():
+        lines.append(f"- {key}: `{value}`")
+    lines.append("")
+    return "\n".join(lines)
+
+
+_HTML_STYLE = """
+body { font-family: -apple-system, 'Segoe UI', sans-serif; margin: 2rem auto;
+       max-width: 60rem; padding: 0 1rem; color: #1a1a1a; }
+h1, h2, h3 { line-height: 1.2; }
+table { border-collapse: collapse; margin: 0.75rem 0; }
+th, td { border: 1px solid #ccc; padding: 0.3rem 0.6rem; text-align: right; }
+th:first-child, td:first-child { text-align: left; }
+th { background: #f2f2f2; }
+code { background: #f5f5f5; padding: 0.1rem 0.25rem; border-radius: 3px; }
+.ok { color: #1a7f37; } .bad { color: #b91c1c; font-weight: bold; }
+footer { margin-top: 2rem; color: #555; font-size: 0.85rem; }
+svg { max-width: 100%; height: auto; }
+"""
+
+
+def _html_table(headers: Sequence[str], rows: Sequence[Sequence[str]]
+                ) -> List[str]:
+    out = ["<table><thead><tr>"]
+    out += [f"<th>{html.escape(h)}</th>" for h in headers]
+    out.append("</tr></thead><tbody>")
+    for row in rows:
+        out.append("<tr>")
+        for cell in row:
+            out.append(f"<td>{html.escape(cell.strip('`'))}</td>")
+        out.append("</tr>")
+    out.append("</tbody></table>")
+    return out
+
+
+def render_html(
+    spec: CampaignSpec,
+    records: Sequence[CellRecord],
+    gantts: Sequence[Tuple[str, str]] = (),
+) -> str:
+    """The self-contained HTML report (``gantts`` maps family → inline
+    SVG markup)."""
+    agg = aggregate(records)
+    violations = bound_violations(records)
+    ok = [r for r in records if r.ok]
+    cached = sum(1 for r in records if r.cached)
+    v_class = "bad" if violations else "ok"
+    parts = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        f"<title>Campaign report: {html.escape(spec.name)}</title>",
+        f"<style>{_HTML_STYLE}</style></head><body>",
+        f"<h1>Campaign report: {html.escape(spec.name)}</h1>",
+    ]
+    if spec.description:
+        parts.append(f"<p>{html.escape(spec.description)}</p>")
+    if spec.source:
+        parts.append(
+            f"<p>Spec: <code>{html.escape(spec.source)}</code></p>"
+        )
+    parts += [
+        "<h2>Run summary</h2><ul>",
+        f"<li>cells: <b>{len(records)}</b> ({len(ok)} ok, "
+        f"{len(records) - len(ok)} errors)</li>",
+        f"<li>served from resume cache this run: {cached}</li>",
+        f'<li>certified-bound violations (observed ratio &lt; 1): '
+        f'<span class="{v_class}">{len(violations)}</span></li>',
+        "</ul>",
+        "<p>Observed ratio = makespan / the cell's own certified LP "
+        "lower bound (a lower bound on OPT, so every value must be "
+        "&ge; 1; values are <em>over</em>-estimates of the true "
+        "approximation ratio).</p>",
+        "<h2>Results by strategy</h2>",
+    ]
+    parts += _html_table(_TABLE_HEADERS,
+                         _strategy_rows(agg["strategies"]))
+    parts.append("<h2>Results by DAG family</h2>")
+    for family, rows in agg["families"].items():
+        parts.append(f"<h3>{html.escape(family)}</h3>")
+        parts += _html_table(_TABLE_HEADERS, _strategy_rows(rows))
+    if gantts:
+        parts.append("<h2>Representative schedules</h2>")
+        for family, svg in gantts:
+            parts.append(f"<h3>{html.escape(family)}</h3>")
+            parts.append(svg)
+    failures = [r for r in records if not r.ok]
+    if failures:
+        parts.append("<h2>Failures</h2><ul>")
+        for r in failures:
+            first = (r.error or "").strip().splitlines()
+            msg = first[-1] if first else "unknown error"
+            parts.append(
+                f"<li><code>{html.escape(r.cell.label)}</code>: "
+                f"{html.escape(msg)}</li>"
+            )
+        parts.append("</ul>")
+    if violations:
+        parts.append('<h2 class="bad">Bound violations</h2><ul>')
+        for r in violations:
+            parts.append(
+                f"<li><code>{html.escape(r.cell.label)}</code>: "
+                f"observed ratio {r.observed_ratio!r} &lt; 1</li>"
+            )
+        parts.append("</ul>")
+    parts.append("<footer><b>Environment:</b> ")
+    parts.append(" · ".join(
+        f"{html.escape(k)}={html.escape(v)}" for k, v in _environment()
+    ))
+    parts.append("</footer></body></html>")
+    return "\n".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# entry point
+# ---------------------------------------------------------------------------
+def write_report(output_dir: _PathLike) -> Dict[str, str]:
+    """Render ``report.md`` + ``report.html`` (and per-family Gantt
+    SVG files) into a campaign directory; returns the written paths.
+
+    The directory must contain the ``spec.json`` and ``records.jsonl``
+    a :class:`~repro.experiments.runner.CampaignRunner` run leaves
+    behind; the ``cache/`` tier is optional (without it the report
+    simply has no Gantt section).
+    """
+    output_dir = Path(output_dir)
+    spec_path = output_dir / "spec.json"
+    if not spec_path.is_file():
+        raise FileNotFoundError(
+            f"{spec_path}: not a campaign directory (run "
+            "'repro-sched campaign run <spec>' first)"
+        )
+    spec = CampaignSpec.from_dict(json.loads(spec_path.read_text()))
+    records = read_records(output_dir)
+    gantts = _family_gantts(output_dir, spec, records)
+
+    gantt_files = []
+    for family, svg in gantts:
+        name = f"gantt_{family}.svg"
+        (output_dir / name).write_text(svg)
+        gantt_files.append((family, name))
+
+    md_path = output_dir / "report.md"
+    md_path.write_text(render_markdown(spec, records, gantt_files))
+    html_path = output_dir / "report.html"
+    html_path.write_text(render_html(spec, records, gantts))
+    paths = {"markdown": str(md_path), "html": str(html_path)}
+    paths.update(
+        {f"gantt_{family}": str(output_dir / name)
+         for family, name in gantt_files}
+    )
+    return paths

@@ -1,0 +1,595 @@
+"""Campaign specifications: validated, declarative study descriptions.
+
+A *campaign spec* describes an empirical study as data: a grid of
+``{DAG family × speedup model × size × machine count × seed}`` crossed
+with a list of ``{allotment strategy × phase-2 priority}`` pairs.  Specs
+are plain dicts with a fixed schema (see :func:`spec_schema`, which the
+docs build renders into the reference page), loadable from TOML or JSON
+files::
+
+    name = "smoke"
+
+    [grid]
+    families = ["layered", "fork_join"]
+    models   = ["power"]
+    sizes    = [12]
+    machines = [4]
+    seeds    = [0, 1]
+
+    [[strategies]]
+    algorithm = "jz"
+    priority  = "earliest-start"
+
+Validation happens at load time, against the *live* registries: DAG
+families against :data:`repro.dag.FAMILIES`, speedup models against
+:data:`repro.workloads.MODELS`, strategy pairs against the pipeline
+registry (aliases are canonicalized, so a spec using ``"greedy"`` and
+one using ``"greedy-critical-path"`` expand to identical cells).
+Unknown keys are rejected — a typo must fail the load, not silently
+shrink the study.
+
+:meth:`CampaignSpec.expand` turns the spec into an ordered tuple of
+:class:`CampaignCell` work items.  Expansion is deterministic (same
+spec → same cells in the same order), and each cell builds its instance
+deterministically from its seed — which is what makes campaigns
+resumable by instance content fingerprint (:mod:`.runner`).
+
+On Python < 3.11 (no :mod:`tomllib`) TOML specs are parsed by a bundled
+fallback reader covering the subset this schema needs; JSON specs work
+everywhere.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import asdict, dataclass, field, replace
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..core.instance import Instance
+from ..dag import FAMILIES
+from ..pipeline import canonical_strategy_pair
+from ..workloads import MODELS
+
+__all__ = [
+    "CampaignCell",
+    "CampaignSpec",
+    "SpecError",
+    "load_spec",
+    "parse_toml",
+    "spec_schema",
+]
+
+_PathLike = Union[str, Path]
+
+#: Campaign names become directory names; keep them filesystem-safe.
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]*$")
+
+
+class SpecError(ValueError):
+    """A campaign spec that fails validation (bad value, unknown key,
+    unparseable file).  Always names the offending field."""
+
+
+# ---------------------------------------------------------------------------
+# schema (single source of truth: validation here, reference docs from it)
+# ---------------------------------------------------------------------------
+
+#: ``(section, key, type, required, default, description)`` rows.  The
+#: docs build (``docs/build.py``) renders this table verbatim into the
+#: campaign-spec reference page, so schema and documentation cannot
+#: drift apart.
+SPEC_FIELDS: Tuple[Tuple[str, str, str, bool, Any, str], ...] = (
+    ("", "name", "string", True, None,
+     "Campaign identifier; becomes the output directory name "
+     "(letters, digits, '_', '-', '.')."),
+    ("", "description", "string", False, "",
+     "Free-text study description, echoed into the report header."),
+    ("grid", "families", "list of strings", True, None,
+     "DAG families to draw instances from (see repro.dag.FAMILIES)."),
+    ("grid", "models", "list of strings", False, ["power"],
+     "Speedup models per task (see repro.workloads.MODELS)."),
+    ("grid", "sizes", "list of integers", True, None,
+     "Approximate task counts (the generator reports the exact count "
+     "per instance)."),
+    ("grid", "machines", "list of integers", True, None,
+     "Machine counts m."),
+    ("grid", "seeds", "list of integers", False, [0],
+     "RNG seeds; one instance per (family, model, size, m, seed)."),
+    ("grid", "base_time", "float", False, 10.0,
+     "Base sequential time scale for drawn task profiles."),
+    ("strategies", "algorithm", "string", False, "jz",
+     "Registered allotment strategy name or alias."),
+    ("strategies", "priority", "string", False, "earliest-start",
+     "Registered phase-2 priority rule name or alias."),
+    ("report", "gantts", "boolean", False, True,
+     "Embed one representative Gantt SVG per DAG family in the "
+     "report."),
+)
+
+
+def spec_schema() -> Tuple[Tuple[str, str, str, bool, Any, str], ...]:
+    """The campaign-spec schema as data (for docs and tooling).
+
+    Returns the :data:`SPEC_FIELDS` rows:
+    ``(section, key, type, required, default, description)`` with
+    ``section == ""`` for top-level keys, ``"strategies"`` for the
+    per-entry keys of the ``[[strategies]]`` array of tables.
+    """
+    return SPEC_FIELDS
+
+
+_TOP_KEYS = {"name", "description", "grid", "strategies", "report"}
+_GRID_KEYS = {k for s, k, *_ in SPEC_FIELDS if s == "grid"}
+_STRATEGY_KEYS = {k for s, k, *_ in SPEC_FIELDS if s == "strategies"}
+_REPORT_KEYS = {k for s, k, *_ in SPEC_FIELDS if s == "report"}
+
+
+# ---------------------------------------------------------------------------
+# cells
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class CampaignCell:
+    """One grid point: an instance recipe × a strategy pair.
+
+    Cells carry the *recipe*, not the instance — :meth:`instance`
+    rebuilds it deterministically from the seed, so a resumed campaign
+    reconstructs exactly the content fingerprint of the original run.
+    """
+
+    index: int
+    family: str
+    model: str
+    size: int
+    m: int
+    seed: int
+    algorithm: str
+    priority: str
+    base_time: float = 10.0
+
+    def instance(self) -> Instance:
+        """Build the cell's instance (deterministic given the cell)."""
+        from ..workloads import make_instance
+
+        return make_instance(
+            self.family, self.size, self.m,
+            model=self.model, seed=self.seed, base_time=self.base_time,
+        )
+
+    @property
+    def label(self) -> str:
+        """Human-readable cell id used in logs and failure reports."""
+        return (
+            f"{self.family}/{self.model}/n{self.size}/m{self.m}/"
+            f"s{self.seed}/{self.algorithm}x{self.priority}"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible dict (embedded in campaign records)."""
+        return asdict(self)
+
+
+# ---------------------------------------------------------------------------
+# spec
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A validated campaign description; see the module docstring.
+
+    Construct via :func:`load_spec` / :meth:`from_dict` (which
+    validate), or directly with keyword arguments (validated in
+    ``__post_init__`` the same way).
+    """
+
+    name: str
+    families: Tuple[str, ...]
+    sizes: Tuple[int, ...]
+    machines: Tuple[int, ...]
+    models: Tuple[str, ...] = ("power",)
+    seeds: Tuple[int, ...] = (0,)
+    base_time: float = 10.0
+    strategies: Tuple[Tuple[str, str], ...] = (("jz", "earliest-start"),)
+    description: str = ""
+    gantts: bool = True
+    #: Where the spec was loaded from, when it came from a file.
+    source: Optional[str] = field(default=None, compare=False)
+
+    def __post_init__(self):
+        if not isinstance(self.name, str) or not _NAME_RE.match(self.name):
+            raise SpecError(
+                f"name: {self.name!r} is not a valid campaign name "
+                "(letters, digits, '_', '-', '.'; must not start with "
+                "a separator)"
+            )
+        _set(self, "families", _str_tuple("grid.families", self.families))
+        _set(self, "models", _str_tuple("grid.models", self.models))
+        for fam in self.families:
+            if fam not in FAMILIES:
+                raise SpecError(
+                    f"grid.families: unknown DAG family {fam!r}; "
+                    f"known: {', '.join(FAMILIES)}"
+                )
+        for model in self.models:
+            if model not in MODELS:
+                raise SpecError(
+                    f"grid.models: unknown speedup model {model!r}; "
+                    f"known: {', '.join(MODELS)}"
+                )
+        _set(self, "sizes", _int_tuple("grid.sizes", self.sizes, low=1))
+        _set(self, "machines",
+             _int_tuple("grid.machines", self.machines, low=1))
+        _set(self, "seeds", _int_tuple("grid.seeds", self.seeds))
+        if not (isinstance(self.base_time, (int, float))
+                and self.base_time > 0):
+            raise SpecError(
+                f"grid.base_time: must be a positive number, "
+                f"got {self.base_time!r}"
+            )
+        pairs = []
+        for k, pair in enumerate(self.strategies):
+            algorithm, priority = pair
+            try:
+                pairs.append(canonical_strategy_pair(algorithm, priority))
+            except Exception as exc:
+                raise SpecError(f"strategies[{k}]: {exc}") from None
+        if not pairs:
+            raise SpecError("strategies: at least one pair is required")
+        seen = set()
+        for k, pair in enumerate(pairs):
+            if pair in seen:
+                raise SpecError(
+                    f"strategies[{k}]: duplicate pair "
+                    f"{pair[0]!r} x {pair[1]!r} (after alias "
+                    "canonicalization)"
+                )
+            seen.add(pair)
+        _set(self, "strategies", tuple(pairs))
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any],
+                  source: Optional[str] = None) -> "CampaignSpec":
+        """Build and validate a spec from the file-schema dict shape."""
+        if not isinstance(data, dict):
+            raise SpecError(
+                f"spec root: expected a table/object, "
+                f"got {type(data).__name__}"
+            )
+        _reject_unknown("", data, _TOP_KEYS)
+        grid = data.get("grid")
+        if not isinstance(grid, dict):
+            raise SpecError("grid: required table is missing")
+        _reject_unknown("grid", grid, _GRID_KEYS)
+        for key in ("families", "sizes", "machines"):
+            if key not in grid:
+                raise SpecError(f"grid.{key}: required key is missing")
+        report = data.get("report", {})
+        if not isinstance(report, dict):
+            raise SpecError("report: expected a table/object")
+        _reject_unknown("report", report, _REPORT_KEYS)
+        gantts = report.get("gantts", True)
+        if not isinstance(gantts, bool):
+            raise SpecError(
+                f"report.gantts: expected a boolean, got {gantts!r}"
+            )
+        raw_strategies = data.get(
+            "strategies", [{"algorithm": "jz",
+                            "priority": "earliest-start"}]
+        )
+        if not isinstance(raw_strategies, list):
+            raise SpecError(
+                "strategies: expected an array of tables "
+                "([[strategies]] entries)"
+            )
+        pairs: List[Tuple[str, str]] = []
+        for k, entry in enumerate(raw_strategies):
+            if not isinstance(entry, dict):
+                raise SpecError(
+                    f"strategies[{k}]: expected a table, "
+                    f"got {type(entry).__name__}"
+                )
+            _reject_unknown(f"strategies[{k}]", entry, _STRATEGY_KEYS)
+            pairs.append(
+                (entry.get("algorithm", "jz"),
+                 entry.get("priority", "earliest-start"))
+            )
+        if "name" not in data:
+            raise SpecError("name: required key is missing")
+        description = data.get("description", "")
+        if not isinstance(description, str):
+            raise SpecError(
+                f"description: expected a string, got {description!r}"
+            )
+        return cls(
+            name=data["name"],
+            description=description,
+            families=grid["families"],
+            models=grid.get("models", ("power",)),
+            sizes=grid["sizes"],
+            machines=grid["machines"],
+            seeds=grid.get("seeds", (0,)),
+            base_time=grid.get("base_time", 10.0),
+            strategies=pairs,
+            gantts=gantts,
+            source=source,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialize back to the file-schema dict shape (round-trips
+        through :meth:`from_dict`; the runner archives this next to the
+        campaign's records)."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "grid": {
+                "families": list(self.families),
+                "models": list(self.models),
+                "sizes": list(self.sizes),
+                "machines": list(self.machines),
+                "seeds": list(self.seeds),
+                "base_time": self.base_time,
+            },
+            "strategies": [
+                {"algorithm": a, "priority": p}
+                for a, p in self.strategies
+            ],
+            "report": {"gantts": self.gantts},
+        }
+
+    # -- expansion ------------------------------------------------------
+    @property
+    def n_cells(self) -> int:
+        """Grid cardinality (instances × strategy pairs)."""
+        return (
+            len(self.families) * len(self.models) * len(self.sizes)
+            * len(self.machines) * len(self.seeds) * len(self.strategies)
+        )
+
+    def instance_cells(self) -> Tuple[CampaignCell, ...]:
+        """The *instance* axes only: one cell per
+        ``(family, model, size, m, seed)`` grid point, in expansion
+        order, each carrying the spec's first strategy pair.
+
+        This is the shared grid iterator for studies that fan
+        something other than whole-pipeline solves over the instances
+        (e.g. the priority-rule ablation benchmark reuses one LP
+        solution across rules); :meth:`expand` is the full cross with
+        every strategy pair.
+        """
+        algorithm, priority = self.strategies[0]
+        cells = []
+        for family in self.families:
+            for model in self.models:
+                for size in self.sizes:
+                    for m in self.machines:
+                        for seed in self.seeds:
+                            cells.append(CampaignCell(
+                                index=len(cells),
+                                family=family,
+                                model=model,
+                                size=size,
+                                m=m,
+                                seed=seed,
+                                algorithm=algorithm,
+                                priority=priority,
+                                base_time=self.base_time,
+                            ))
+        return tuple(cells)
+
+    def expand(self) -> Tuple[CampaignCell, ...]:
+        """The ordered work list: one cell per grid point.
+
+        Instance axes vary outermost (family, model, size, m, seed),
+        strategy pairs innermost — so all strategies of one instance
+        are adjacent and the runner hashes each instance only once.
+        """
+        cells: List[CampaignCell] = []
+        for base in self.instance_cells():
+            for algorithm, priority in self.strategies:
+                cells.append(replace(
+                    base, index=len(cells),
+                    algorithm=algorithm, priority=priority,
+                ))
+        return tuple(cells)
+
+
+def _set(obj, name, value):
+    """Assign on a frozen dataclass during ``__post_init__``."""
+    object.__setattr__(obj, name, value)
+
+
+def _reject_unknown(section: str, table: Dict[str, Any], known) -> None:
+    unknown = sorted(set(table) - known)
+    if unknown:
+        where = section or "spec"
+        raise SpecError(
+            f"{where}: unknown key(s) {', '.join(map(repr, unknown))}; "
+            f"known: {', '.join(sorted(known))}"
+        )
+
+
+def _str_tuple(where: str, values) -> Tuple[str, ...]:
+    values = _as_tuple(where, values)
+    for v in values:
+        if not isinstance(v, str):
+            raise SpecError(f"{where}: expected strings, got {v!r}")
+    if not values:
+        raise SpecError(f"{where}: must not be empty")
+    return values
+
+
+def _int_tuple(where: str, values, low: Optional[int] = None
+               ) -> Tuple[int, ...]:
+    values = _as_tuple(where, values)
+    for v in values:
+        if not isinstance(v, int) or isinstance(v, bool):
+            raise SpecError(f"{where}: expected integers, got {v!r}")
+        if low is not None and v < low:
+            raise SpecError(f"{where}: values must be >= {low}, got {v}")
+    if not values:
+        raise SpecError(f"{where}: must not be empty")
+    return values
+
+
+def _as_tuple(where: str, values) -> tuple:
+    if isinstance(values, (list, tuple)):
+        return tuple(values)
+    raise SpecError(
+        f"{where}: expected an array, got {type(values).__name__}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# file loading
+# ---------------------------------------------------------------------------
+def load_spec(path: _PathLike) -> CampaignSpec:
+    """Load and validate a campaign spec from a ``.toml`` or ``.json``
+    file (anything not ending in ``.json`` is parsed as TOML)."""
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise SpecError(f"cannot read spec {str(path)!r}: {exc}") from None
+    if path.suffix.lower() == ".json":
+        try:
+            data = json.loads(text)
+        except ValueError as exc:
+            raise SpecError(f"{path}: invalid JSON: {exc}") from None
+    else:
+        data = parse_toml(text, filename=str(path))
+    return CampaignSpec.from_dict(data, source=str(path))
+
+
+def parse_toml(text: str, filename: str = "<toml>") -> Dict[str, Any]:
+    """Parse TOML text into a dict.
+
+    Uses :mod:`tomllib` when available (Python >= 3.11); otherwise a
+    bundled fallback reader that covers the subset campaign specs use —
+    tables, arrays of tables, strings, numbers, booleans and single-line
+    arrays.  The fallback exists because this package supports
+    Python 3.10 without adding a TOML dependency.
+    """
+    try:
+        import tomllib
+    except ImportError:
+        return _parse_toml_subset(text, filename)
+    try:
+        return tomllib.loads(text)
+    except tomllib.TOMLDecodeError as exc:
+        raise SpecError(f"{filename}: invalid TOML: {exc}") from None
+
+
+def _parse_toml_subset(text: str, filename: str) -> Dict[str, Any]:
+    """Minimal TOML reader (see :func:`parse_toml` for the scope)."""
+    root: Dict[str, Any] = {}
+    current = root
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw).strip()
+        if not line:
+            continue
+        if line.startswith("[[") and line.endswith("]]"):
+            key = line[2:-2].strip()
+            table: Dict[str, Any] = {}
+            root.setdefault(key, [])
+            if not isinstance(root[key], list):
+                raise SpecError(
+                    f"{filename}:{lineno}: {key!r} is both a table "
+                    "and an array of tables"
+                )
+            root[key].append(table)
+            current = table
+            continue
+        if line.startswith("[") and line.endswith("]"):
+            key = line[1:-1].strip()
+            existing = root.setdefault(key, {})
+            if not isinstance(existing, dict):
+                raise SpecError(
+                    f"{filename}:{lineno}: {key!r} is both an array "
+                    "of tables and a table"
+                )
+            current = existing
+            continue
+        if "=" not in line:
+            raise SpecError(
+                f"{filename}:{lineno}: expected 'key = value', "
+                f"got {raw.strip()!r}"
+            )
+        key, _, value = line.partition("=")
+        current[key.strip()] = _parse_toml_value(
+            value.strip(), filename, lineno
+        )
+    return root
+
+
+def _strip_comment(line: str) -> str:
+    """Drop a ``#`` comment (respecting ``"..."`` string contents)."""
+    out = []
+    in_str = False
+    for ch in line:
+        if ch == '"':
+            in_str = not in_str
+        if ch == "#" and not in_str:
+            break
+        out.append(ch)
+    return "".join(out)
+
+
+def _parse_toml_value(token: str, filename: str, lineno: int):
+    if token.startswith("[") and token.endswith("]"):
+        inner = token[1:-1].strip()
+        if not inner:
+            return []
+        return [
+            _parse_toml_value(part.strip(), filename, lineno)
+            for part in _split_toml_array(inner)
+        ]
+    if token.startswith('"') and token.endswith('"') and len(token) >= 2:
+        if "\\" in token:
+            # tomllib would process the escape; silently keeping the
+            # backslash would make the same spec mean different things
+            # on 3.10 vs 3.11+.  Fail loud instead (module contract).
+            raise SpecError(
+                f"{filename}:{lineno}: backslash escapes are not "
+                "supported by the bundled fallback TOML reader; "
+                "use Python >= 3.11 or drop the escape"
+            )
+        return token[1:-1]
+    if token == "true":
+        return True
+    if token == "false":
+        return False
+    try:
+        return int(token)
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError:
+        pass
+    raise SpecError(
+        f"{filename}:{lineno}: unsupported TOML value {token!r} "
+        "(the bundled fallback reader covers strings, numbers, "
+        "booleans and single-line arrays; use Python >= 3.11 for "
+        "full TOML)"
+    )
+
+
+def _split_toml_array(inner: str) -> List[str]:
+    parts, depth, in_str, buf = [], 0, False, []
+    for ch in inner:
+        if ch == '"':
+            in_str = not in_str
+        elif not in_str:
+            if ch == "[":
+                depth += 1
+            elif ch == "]":
+                depth -= 1
+            elif ch == "," and depth == 0:
+                parts.append("".join(buf))
+                buf = []
+                continue
+        buf.append(ch)
+    if "".join(buf).strip():
+        parts.append("".join(buf))
+    return parts

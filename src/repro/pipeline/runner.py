@@ -8,6 +8,26 @@ convenience.  The batch engine (:mod:`repro.engine.batch`) runs exactly
 this object inside its worker processes, which is what makes every
 registered strategy combination available to the process-pool fan-out,
 the JSONL export and the CLI for free.
+
+Example::
+
+    from repro.pipeline import SchedulingPipeline
+    from repro.workloads import make_instance
+
+    inst = make_instance("layered", 30, 8, model="power", seed=0)
+    pipe = SchedulingPipeline("jz", "earliest-start")
+    report = pipe.solve(inst)
+    report.makespan                  # feasible schedule's makespan
+    report.lower_bound               # certified bound on OPT
+    report.observed_ratio            # makespan / lower_bound, >= 1
+    report.ratio_bound               # proven r(m) (None for ablation
+                                     # priority rules, which void it)
+    report.allotment_time, report.schedule_time   # per-stage wall time
+
+The same pair of names drives every entry point: ``pipe.solve(inst)``
+here, ``BatchRunner(algorithm="jz", priority="earliest-start")`` for
+batches, ``--algorithm jz --priority earliest-start`` on the CLI, and
+the ``[[strategies]]`` tables of a campaign spec.
 """
 
 from __future__ import annotations

@@ -1,7 +1,7 @@
 """Schedule substrate: record type, validation, simulation, metrics."""
 
 from .compaction import compact_schedule
-from .gantt import render_gantt
+from .gantt import render_gantt, render_gantt_svg
 from .metrics import (
     SlotClasses,
     average_utilization,
@@ -31,6 +31,7 @@ __all__ = [
     "busy_profile",
     "compact_schedule",
     "render_gantt",
+    "render_gantt_svg",
     "simulate",
     "slot_classes",
     "validate_schedule",

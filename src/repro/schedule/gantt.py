@@ -1,19 +1,45 @@
-"""ASCII Gantt rendering of schedules (for examples and debugging).
+"""Gantt rendering of schedules: ASCII for terminals, SVG for reports.
 
-Renders a schedule as a processor-rows × time-columns text chart.  The
-renderer assigns each task a concrete set of processor rows consistent with
-its allotment using a first-fit sweep (the paper's model only fixes *how
-many* processors a task uses; any concrete assignment of identical
-processors is equivalent).
+Both renderers assign each task a concrete set of processor rows
+consistent with its allotment using a first-fit sweep (the paper's model
+only fixes *how many* processors a task uses; any concrete assignment of
+identical processors is equivalent).  :func:`render_gantt` draws a
+processor-rows × time-columns text chart; :func:`render_gantt_svg`
+emits a dependency-free standalone SVG string that the experiment
+reports (:mod:`repro.experiments.report`) embed inline.
 """
 
 from __future__ import annotations
 
+from html import escape as _esc
 from typing import Dict, List, Optional
 
 from .schedule import Schedule
 
-__all__ = ["render_gantt"]
+__all__ = ["render_gantt", "render_gantt_svg"]
+
+
+def _assign_rows(schedule: Schedule) -> Dict[int, List[int]]:
+    """Concrete processor rows per task, by a first-fit sweep over
+    start times (shared by the ASCII and SVG renderers)."""
+    m = schedule.m
+    rows_free_at = [0.0] * m  # per-row time when it becomes free
+    assignment: Dict[int, List[int]] = {}
+    for e in schedule.entries:
+        rows = [
+            r for r in range(m) if rows_free_at[r] <= e.start + 1e-9
+        ][: e.processors]
+        if len(rows) < e.processors:
+            # Fall back: take the rows freeing earliest (the schedule is
+            # feasible, so a consistent assignment exists; first-fit by
+            # start order may need this when ends tie within tolerance).
+            rows = sorted(range(m), key=lambda r: rows_free_at[r])[
+                : e.processors
+            ]
+        for r in rows:
+            rows_free_at[r] = e.end
+        assignment[e.task] = rows
+    return assignment
 
 
 def render_gantt(
@@ -34,24 +60,7 @@ def render_gantt(
     m = schedule.m
     cols = width
     scale = makespan / cols
-
-    # Assign concrete processor rows by a first-fit sweep over start times.
-    rows_free_at = [0.0] * m  # per-row time when it becomes free
-    assignment: Dict[int, List[int]] = {}
-    for e in schedule.entries:
-        rows = [
-            r for r in range(m) if rows_free_at[r] <= e.start + 1e-9
-        ][: e.processors]
-        if len(rows) < e.processors:
-            # Fall back: take the rows freeing earliest (the schedule is
-            # feasible, so a consistent assignment exists; first-fit by
-            # start order may need this when ends tie within tolerance).
-            rows = sorted(range(m), key=lambda r: rows_free_at[r])[
-                : e.processors
-            ]
-        for r in rows:
-            rows_free_at[r] = e.end
-        assignment[e.task] = rows
+    assignment = _assign_rows(schedule)
 
     grid = [["." for _ in range(cols)] for _ in range(m)]
     for e in schedule.entries:
@@ -67,3 +76,114 @@ def render_gantt(
     for r in range(m):
         lines.append(f"p{r:<2d} |" + "".join(grid[r]) + "|")
     return "\n".join(lines)
+
+
+#: Qualitative fill palette for SVG task bars (cycled by task id).
+_SVG_COLORS = (
+    "#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#76b7b2",
+    "#edc948", "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac",
+)
+
+
+def render_gantt_svg(
+    schedule: Schedule,
+    width: int = 720,
+    row_height: int = 22,
+    title: str = "",
+    labels: Optional[Dict[int, str]] = None,
+) -> str:
+    """Render ``schedule`` as a standalone SVG document (a string).
+
+    One horizontal band per processor, one rectangle per (task, row);
+    colors cycle over a fixed qualitative palette by task id, and every
+    bar carries a ``<title>`` tooltip with the task label, interval and
+    allotment.  The output is dependency-free and self-contained, so it
+    can be written to a file or embedded inline in an HTML report.
+    """
+    if width < 100:
+        raise ValueError("width must be >= 100")
+    makespan = schedule.makespan
+    m = schedule.m
+    margin_left, margin_top = 36, 26 if title else 8
+    axis_h = 18
+    chart_w = width - margin_left - 8
+    height = margin_top + m * row_height + axis_h
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        'font-family="sans-serif" font-size="11">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="{margin_left}" y="16" font-size="12" '
+            f'font-weight="bold">{_esc(title)}</text>'
+        )
+    if makespan <= 0 or not schedule.entries:
+        parts.append(
+            f'<text x="{margin_left}" y="{margin_top + 14}">'
+            "(empty schedule)</text></svg>"
+        )
+        return "".join(parts)
+
+    scale = chart_w / makespan
+    for r in range(m):
+        y = margin_top + r * row_height
+        parts.append(
+            f'<text x="{margin_left - 6}" y="{y + row_height * 0.68:.1f}" '
+            f'text-anchor="end" fill="#555">p{r}</text>'
+        )
+        parts.append(
+            f'<line x1="{margin_left}" y1="{y + row_height}" '
+            f'x2="{margin_left + chart_w}" y2="{y + row_height}" '
+            'stroke="#eee"/>'
+        )
+    assignment = _assign_rows(schedule)
+    for e in schedule.entries:
+        x = margin_left + e.start * scale
+        w = max(1.0, e.duration * scale - 0.5)
+        color = _SVG_COLORS[e.task % len(_SVG_COLORS)]
+        label = (labels or {}).get(e.task, f"task {e.task}")
+        tip = (
+            f"{label}: [{e.start:.3f}, {e.end:.3f}] "
+            f"on {e.processors} proc"
+        )
+        for r in assignment[e.task]:
+            y = margin_top + r * row_height
+            parts.append(
+                f'<rect x="{x:.2f}" y="{y + 1:.1f}" width="{w:.2f}" '
+                f'height="{row_height - 2}" fill="{color}" '
+                f'stroke="#333" stroke-width="0.4">'
+                f"<title>{_esc(tip)}</title></rect>"
+            )
+        # Task id on the widest row of the bar, when it fits.
+        if w >= 18:
+            y_mid = (
+                margin_top
+                + assignment[e.task][0] * row_height
+                + row_height * 0.68
+            )
+            parts.append(
+                f'<text x="{x + w / 2:.1f}" y="{y_mid:.1f}" '
+                'text-anchor="middle" fill="white">'
+                f"{e.task}</text>"
+            )
+    # Time axis: 0, makespan, and quarter ticks.
+    y_axis = margin_top + m * row_height
+    for frac in (0.0, 0.25, 0.5, 0.75, 1.0):
+        x = margin_left + chart_w * frac
+        parts.append(
+            f'<line x1="{x:.1f}" y1="{y_axis}" x2="{x:.1f}" '
+            f'y2="{y_axis + 4}" stroke="#555"/>'
+        )
+        anchor = (
+            "start" if frac == 0.0
+            else "end" if frac == 1.0 else "middle"
+        )
+        parts.append(
+            f'<text x="{x:.1f}" y="{y_axis + 14}" '
+            f'text-anchor="{anchor}" fill="#555">'
+            f"{makespan * frac:.2f}</text>"
+        )
+    parts.append("</svg>")
+    return "".join(parts)

@@ -35,6 +35,23 @@ which in turn drives the process pool (or solves in-process when
 an in-flight key await the leader's future; results are passed as
 ``("ok", payload)`` / ``("error", message)`` tuples so an abandoned
 future never logs an unretrieved exception.
+
+Example (in-process daemon on a background thread)::
+
+    from repro.service import ServiceClient, serve_in_thread
+    from repro.workloads import make_instance
+
+    inst = make_instance("layered", 24, 8, seed=0)
+    with serve_in_thread(workers=0) as handle:
+        with ServiceClient(port=handle.port) as client:
+            first = client.solve(inst)           # cache miss: solved
+            again = client.solve(inst)           # content-keyed hit
+            assert again["cached"] is True
+            assert again["schedule"] == first["schedule"]
+            client.stats()["cache"]["hit_ratio"]
+
+On the command line the same daemon is ``python -m repro serve``; the
+full endpoint/field reference lives in ``docs/service.md``.
 """
 
 from __future__ import annotations
@@ -52,7 +69,7 @@ from ..core.instance import Instance
 from ..engine.batch import POOL_FAILURE_PREFIX, BatchRunner
 from ..io import dict_to_instance
 from ..pipeline import UnknownStrategyError, canonical_strategy_pair
-from .cache import CacheKey, ResultCache
+from .cache import CacheKey, ResultCache, solve_payload
 
 __all__ = ["DEFAULT_HOST", "DEFAULT_PORT", "SolverService"]
 
@@ -610,26 +627,7 @@ class SolverService:
             self._replace_broken_pool(generation)
         if not rec.ok:
             return ("error", rec.error or "solve failed")
-        return (
-            "ok",
-            {
-                "status": "ok",
-                "instance_key": key[0],
-                "algorithm": rec.algorithm,
-                "priority": rec.priority,
-                "name": rec.name,
-                "n_tasks": rec.n_tasks,
-                "m": rec.m,
-                "makespan": rec.makespan,
-                "lower_bound": rec.lower_bound,
-                "ratio_bound": rec.ratio_bound,
-                "observed_ratio": rec.observed_ratio,
-                "rho": rec.rho,
-                "mu": rec.mu,
-                "schedule": rec.schedule,
-                "solve_wall_time": rec.wall_time,
-            },
-        )
+        return ("ok", solve_payload(key[0], rec))
 
     def _replace_broken_pool(self, generation: int) -> None:
         """Swap in a fresh process pool (once per broken generation —

@@ -42,13 +42,43 @@ from typing import Any, Dict, Optional, Tuple, Union
 
 from .. import __version__
 
-__all__ = ["CacheKey", "ResultCache"]
+__all__ = ["CacheKey", "ResultCache", "solve_payload"]
 
 #: ``(instance content key, allotment strategy, phase-2 rule)`` — all
 #: canonical strings.
 CacheKey = Tuple[str, str, str]
 
 _PathLike = Union[str, Path]
+
+
+def solve_payload(instance_key: str, record) -> Dict[str, Any]:
+    """The canonical cached-solve payload for an *ok* engine record.
+
+    This is the one definition of the value shape stored under a
+    :data:`CacheKey` — the service broker caches it and serves it as
+    the ``/solve`` response body (plus transport flags), and the
+    campaign runner persists the same shape in its resume cache, which
+    is what keeps the two spill tiers mutually readable.  ``record``
+    is a successful :class:`repro.engine.BatchRecord` (duck-typed to
+    avoid importing the engine here).
+    """
+    return {
+        "status": "ok",
+        "instance_key": instance_key,
+        "algorithm": record.algorithm,
+        "priority": record.priority,
+        "name": record.name,
+        "n_tasks": record.n_tasks,
+        "m": record.m,
+        "makespan": record.makespan,
+        "lower_bound": record.lower_bound,
+        "ratio_bound": record.ratio_bound,
+        "observed_ratio": record.observed_ratio,
+        "rho": record.rho,
+        "mu": record.mu,
+        "schedule": record.schedule,
+        "solve_wall_time": record.wall_time,
+    }
 
 
 class ResultCache:
@@ -168,6 +198,34 @@ class ResultCache:
         """Membership in the *memory* tier; no counter side effects."""
         with self._lock:
             return key in self._data
+
+    def flush(self, key: Optional[CacheKey] = None) -> int:
+        """Write memory-tier entries to the spill tier *without* evicting
+        them; returns the number of entries submitted to the tier
+        (individual writes may still be skipped when the tier is full
+        or the device fails — same degradation rules as eviction).
+
+        ``key`` restricts the flush to one entry (a no-op when it is not
+        in memory); ``None`` flushes everything resident.  Entries whose
+        spill file already exists are rewritten (the in-memory value is
+        at least as fresh).  A no-op without a spill tier.
+
+        The campaign runner (:mod:`repro.experiments.runner`) calls this
+        after each completed wave so every finished cell is durable on
+        disk immediately — eviction-only spilling would lose the still-
+        resident entries on an interrupt, which is exactly when the
+        resume path needs them.
+        """
+        if self._spill_dir is None:
+            return 0
+        with self._lock:
+            if key is None:
+                entries = list(self._data.items())
+            else:
+                value = self._data.get(key)
+                entries = [] if value is None else [(key, value)]
+        self._write_spilled_many(entries)
+        return len(entries)
 
     def clear(self, *, drop_spill: bool = False) -> None:
         """Empty the memory tier (counters are kept).  With

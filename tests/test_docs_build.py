@@ -1,0 +1,91 @@
+"""The docs build must succeed with warnings-as-errors, and the
+generated strategy reference must list every registered strategy —
+without manual edits, by construction."""
+
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parents[1]
+
+
+def build_docs(tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(_ROOT / "src")
+    return subprocess.run(
+        [
+            sys.executable, str(_ROOT / "docs/build.py"),
+            "--strict", "-o", str(tmp_path / "site"),
+        ],
+        capture_output=True,
+        text=True,
+        timeout=120,
+        env=env,
+    )
+
+
+def test_malformed_heading_warns_instead_of_hanging():
+    # Regression: a '#' line that is not a valid ATX heading (no
+    # space / 7+ hashes) used to loop the builder forever; it must
+    # consume the line and warn.
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location(
+        "docsbuild", _ROOT / "docs/build.py"
+    )
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    warnings = []
+    builder = mod.PageBuilder(
+        "t.md", "#nospace\n\n####### seven\n",
+        lambda p, line, msg: warnings.append((line, msg)),
+    )
+    out = builder.build()
+    assert "#nospace" in out
+    assert [line for line, _ in warnings] == [1, 3]
+    assert all("malformed heading" in msg for _, msg in warnings)
+
+
+def test_docs_build_strict(tmp_path):
+    proc = build_docs(tmp_path)
+    assert proc.returncode == 0, (
+        f"docs build failed\n{proc.stdout}\n{proc.stderr}"
+    )
+    assert "0 warning(s)" in proc.stdout
+    site = tmp_path / "site"
+    for page in (
+        "index.html", "architecture.html", "campaigns.html",
+        "service.html", "performance.html",
+        "reference/strategies.html", "reference/campaign-spec.html",
+        "reference/cli.html",
+    ):
+        assert (site / page).is_file(), f"missing page {page}"
+
+    from repro.pipeline import list_strategies
+
+    strategies = list_strategies()
+    text = (site / "reference/strategies.html").read_text()
+    # The page is generated from the registry: every canonical name
+    # appears, and the stated count matches the registry exactly.
+    for info in strategies:
+        assert f"<code>{info.name}</code>" in text, info.name
+    assert re.search(
+        rf"<strong>{len(strategies)}</strong> registered", text
+    )
+
+    # The campaign-spec reference is generated from spec_schema().
+    spec_text = (site / "reference/campaign-spec.html").read_text()
+    from repro.experiments import spec_schema
+
+    for _section, key, *_ in spec_schema():
+        assert f"<code>{key}</code>" in spec_text, key
+
+    # The CLI reference covers every subcommand.
+    cli_text = (site / "reference/cli.html").read_text()
+    for command in (
+        "demo", "solve", "strategies", "tables", "params", "generate",
+        "validate", "batch", "serve", "campaign",
+    ):
+        assert f"<code>{command}</code>" in cli_text, command

@@ -1,0 +1,63 @@
+"""Smoke test: every script in examples/ runs clean, end to end.
+
+Each example is executed as a subprocess (its own interpreter, a temp
+working directory so generated campaign output never lands in the
+repo) and must exit 0.  Deselect with ``-m "not examples"`` when
+iterating on the solver.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+_ROOT = Path(__file__).resolve().parents[1]
+EXAMPLES = sorted((_ROOT / "examples").glob("*.py"))
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 5
+
+
+@pytest.mark.examples
+@pytest.mark.parametrize(
+    "example", EXAMPLES, ids=[p.stem for p in EXAMPLES]
+)
+def test_example_runs_clean(example, tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [sys.executable, str(example)],
+        cwd=tmp_path,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert proc.returncode == 0, (
+        f"{example.name} failed\n--- stdout ---\n{proc.stdout[-2000:]}"
+        f"\n--- stderr ---\n{proc.stderr[-2000:]}"
+    )
+    assert proc.stdout.strip(), f"{example.name} printed nothing"
+
+
+@pytest.mark.examples
+def test_workload_report_example_writes_report(tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(_ROOT / "src")
+    proc = subprocess.run(
+        [sys.executable, str(_ROOT / "examples/workload_report.py")],
+        cwd=tmp_path,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    report = tmp_path / "campaigns/workload_report/report.html"
+    assert report.is_file()
+    assert "<svg" in report.read_text()

@@ -1,0 +1,563 @@
+"""Tests for the experiment-campaign subsystem (repro.experiments).
+
+Covers spec validation and TOML loading (including the bundled
+fallback reader used on Python 3.10), deterministic grid expansion,
+the runner's resume semantics — notably the killed-mid-grid contract:
+completed cells are served from the fingerprint cache and the records
+are bit-identical to an uninterrupted run — and the Markdown + HTML
+report rendering.
+"""
+
+import json
+
+import pytest
+
+import repro.experiments.spec as spec_module
+from repro.experiments import (
+    CampaignRunner,
+    CampaignSpec,
+    SpecError,
+    load_spec,
+    spec_schema,
+)
+from repro.experiments.report import (
+    aggregate,
+    bound_violations,
+    write_report,
+)
+from repro.experiments.runner import CellRecord, read_records
+from repro.experiments.spec import parse_toml
+
+SMOKE_TOML = """
+name = "unit"
+description = "unit-test study"
+
+[grid]
+families = ["layered", "fork_join"]
+models   = ["power"]
+sizes    = [10]
+machines = [4]
+seeds    = [0, 1]
+
+[[strategies]]
+algorithm = "jz"
+priority  = "earliest-start"
+
+[[strategies]]
+algorithm = "sequential"
+priority  = "earliest-start"
+
+[report]
+gantts = true
+"""
+
+
+def small_spec(**overrides):
+    kwargs = dict(
+        name="unit",
+        families=("layered", "fork_join"),
+        sizes=(10,),
+        machines=(4,),
+        seeds=(0, 1),
+        strategies=(
+            ("jz", "earliest-start"),
+            ("sequential", "earliest-start"),
+        ),
+    )
+    kwargs.update(overrides)
+    return CampaignSpec(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# spec validation and loading
+# ---------------------------------------------------------------------------
+class TestSpec:
+    def test_toml_round_trip(self, tmp_path):
+        path = tmp_path / "unit.toml"
+        path.write_text(SMOKE_TOML)
+        spec = load_spec(path)
+        assert spec.name == "unit"
+        assert spec.families == ("layered", "fork_join")
+        assert spec.seeds == (0, 1)
+        assert spec.n_cells == 8
+        assert spec.source == str(path)
+        # to_dict() -> from_dict() is the identity (modulo source).
+        again = CampaignSpec.from_dict(spec.to_dict())
+        assert again == spec
+
+    def test_json_spec(self, tmp_path):
+        path = tmp_path / "unit.json"
+        path.write_text(json.dumps(small_spec().to_dict()))
+        assert load_spec(path) == small_spec()
+
+    def test_fallback_toml_parser_matches_tomllib(self):
+        tomllib = pytest.importorskip("tomllib")
+        for text in (SMOKE_TOML,):
+            assert spec_module._parse_toml_subset(
+                text, "<t>"
+            ) == tomllib.loads(text)
+
+    def test_fallback_parser_on_committed_specs(self):
+        tomllib = pytest.importorskip("tomllib")
+        from pathlib import Path
+
+        specs = Path(__file__).resolve().parents[1] / "experiments/specs"
+        for path in sorted(specs.glob("*.toml")):
+            text = path.read_text()
+            assert spec_module._parse_toml_subset(
+                text, path.name
+            ) == tomllib.loads(text)
+            load_spec(path)  # and they validate against live registries
+
+    def test_fallback_parser_rejects_unsupported(self):
+        with pytest.raises(SpecError, match="unsupported TOML value"):
+            spec_module._parse_toml_subset("key = 1979-05-27\n", "<t>")
+
+    def test_fallback_parser_rejects_backslash_escapes(self):
+        # tomllib would process the escape; silently keeping the
+        # backslash would make the same spec mean different things on
+        # 3.10 vs 3.11+, so the fallback fails loud instead.
+        with pytest.raises(SpecError, match="backslash escapes"):
+            spec_module._parse_toml_subset(
+                'a = "say \\"hi\\""\n', "<t>"
+            )
+        with pytest.raises(SpecError, match="backslash"):
+            spec_module._parse_toml_subset(
+                'a = "x \\" # y"\n', "<t>"
+            )
+
+    def test_parse_toml_comments_and_types(self):
+        data = parse_toml(
+            'a = "x # not a comment"  # comment\n'
+            "b = [1, 2]  # trailing\nc = true\nd = 1.5\n"
+        )
+        assert data == {"a": "x # not a comment", "b": [1, 2],
+                        "c": True, "d": 1.5}
+
+    @pytest.mark.parametrize(
+        "patch, message",
+        [
+            (dict(name="../evil"), "not a valid campaign name"),
+            (dict(families=("nope",)), "unknown DAG family"),
+            (dict(models=("nope",)), "unknown speedup model"),
+            (dict(sizes=()), "must not be empty"),
+            (dict(machines=(0,)), "must be >= 1"),
+            (dict(seeds=("x",)), "expected integers"),
+            (dict(base_time=0), "positive number"),
+            (dict(strategies=(("nope", "fifo"),)), "unknown allotment"),
+            (
+                dict(strategies=(
+                    ("jz", "earliest-start"),
+                    ("jz", "earliest-start"),
+                )),
+                "duplicate pair",
+            ),
+        ],
+    )
+    def test_validation_errors(self, patch, message):
+        with pytest.raises(SpecError, match=message):
+            small_spec(**patch)
+
+    def test_aliases_canonicalized_and_deduped(self):
+        spec = small_spec(strategies=(("greedy", "earliest-start"),))
+        assert spec.strategies == (
+            ("greedy-critical-path", "earliest-start"),
+        )
+        with pytest.raises(SpecError, match="duplicate pair"):
+            small_spec(strategies=(
+                ("greedy", "earliest-start"),
+                ("greedy-critical-path", "earliest-start"),
+            ))
+
+    def test_unknown_keys_rejected(self):
+        data = small_spec().to_dict()
+        data["grid"]["familees"] = ["layered"]
+        with pytest.raises(SpecError, match="familees"):
+            CampaignSpec.from_dict(data)
+        data = small_spec().to_dict()
+        data["extra"] = 1
+        with pytest.raises(SpecError, match="extra"):
+            CampaignSpec.from_dict(data)
+
+    def test_missing_required(self):
+        data = small_spec().to_dict()
+        del data["grid"]["families"]
+        with pytest.raises(SpecError, match="grid.families"):
+            CampaignSpec.from_dict(data)
+        with pytest.raises(SpecError, match="grid"):
+            CampaignSpec.from_dict({"name": "x"})
+
+    def test_expand_deterministic_and_ordered(self):
+        spec = small_spec()
+        cells = spec.expand()
+        assert len(cells) == spec.n_cells == 8
+        assert [c.index for c in cells] == list(range(8))
+        assert cells == spec.expand()
+        # Strategy pairs are adjacent per instance.
+        assert cells[0].seed == cells[1].seed
+        assert cells[0].algorithm != cells[1].algorithm
+        # instance_cells: the instance axes only.
+        inst_cells = spec.instance_cells()
+        assert len(inst_cells) == 4
+        assert all(
+            c.algorithm == "jz" for c in inst_cells
+        )
+
+    def test_cell_instance_deterministic(self):
+        cell = small_spec().expand()[0]
+        assert (
+            cell.instance().content_key()
+            == cell.instance().content_key()
+        )
+
+    def test_schema_covers_spec_fields(self):
+        # Every schema row names a real key (docs are generated from
+        # this; a drifting schema must fail here).
+        rows = spec_schema()
+        keys = {(section, key) for section, key, *_ in rows}
+        assert ("grid", "families") in keys
+        assert ("strategies", "algorithm") in keys
+        assert ("", "name") in keys
+
+
+# ---------------------------------------------------------------------------
+# runner: execution, resume, failure isolation
+# ---------------------------------------------------------------------------
+class TestRunner:
+    def test_run_then_resume_solves_nothing(self, tmp_path):
+        spec = small_spec()
+        out = tmp_path / "c"
+        first = CampaignRunner(spec, workers=0, output_dir=out).run()
+        assert first.n_ok == 8 and first.n_solved == 8
+        assert all(
+            r.observed_ratio >= 1.0 - 1e-9
+            for r in first.records
+        )
+        second = CampaignRunner(spec, workers=0, output_dir=out).run()
+        assert second.n_solved == 0
+        assert second.n_cached == 8
+        # Bit-identical records (including wall_time, which replays the
+        # original measurement from the cache payload).
+        assert [r.to_dict() | {"cached": False}
+                for r in second.records] == [
+            r.to_dict() | {"cached": False} for r in first.records
+        ]
+
+    def test_records_jsonl_round_trip(self, tmp_path):
+        out = tmp_path / "c"
+        result = CampaignRunner(
+            small_spec(), workers=0, output_dir=out
+        ).run()
+        assert read_records(out) == list(result.records)
+        echo = json.loads((out / "spec.json").read_text())
+        assert CampaignSpec.from_dict(echo) == small_spec()
+
+    def test_fresh_resolves_everything(self, tmp_path):
+        out = tmp_path / "c"
+        CampaignRunner(small_spec(), workers=0, output_dir=out).run()
+        again = CampaignRunner(
+            small_spec(), workers=0, output_dir=out
+        ).run(fresh=True)
+        assert again.n_solved == 8 and again.n_cached == 0
+
+    def test_fresh_never_deletes_unrelated_files(self, tmp_path):
+        # --fresh must clear only what a campaign writes; a user may
+        # point --output at a directory holding other files.
+        out = tmp_path / "c"
+        out.mkdir()
+        precious = out / "precious.txt"
+        precious.write_text("do not delete")
+        CampaignRunner(small_spec(), workers=0, output_dir=out).run()
+        result = CampaignRunner(
+            small_spec(), workers=0, output_dir=out
+        ).run(fresh=True)
+        assert precious.read_text() == "do not delete"
+        assert result.n_solved == 8
+
+    def test_service_payload_shape_is_shared(self, tmp_path):
+        # The campaign cache stores exactly the payload the solver
+        # service caches/serves — one definition, no drift.
+        from repro.service.cache import ResultCache, solve_payload
+
+        spec = small_spec(seeds=(0,),
+                          strategies=(("jz", "earliest-start"),))
+        out = tmp_path / "c"
+        CampaignRunner(spec, workers=0, output_dir=out).run()
+        cache = ResultCache(capacity=4, spill_dir=out / "cache")
+        cell = spec.expand()[0]
+        key = (cell.instance().content_key(), cell.algorithm,
+               cell.priority)
+        payload = cache.get(key)
+        from repro.engine import BatchRunner
+
+        rec = BatchRunner(
+            workers=0, include_schedule=True
+        ).run([cell.instance()]).records[0]
+        expected = solve_payload(key[0], rec)
+        expected.pop("solve_wall_time")
+        assert {
+            k: v for k, v in payload.items() if k != "solve_wall_time"
+        } == expected
+
+    def test_killed_mid_grid_resumes_from_cache(self, tmp_path):
+        """The resume contract: kill a run mid-grid, re-run, and the
+        completed cells are served from the fingerprint cache with
+        records bit-identical to an uninterrupted run."""
+        spec = small_spec()
+        out = tmp_path / "killed"
+
+        class Boom(RuntimeError):
+            pass
+
+        seen = []
+
+        def kill_after_three(record):
+            seen.append(record)
+            if len(seen) == 3:
+                raise Boom("simulated kill")
+
+        with pytest.raises(Boom):
+            CampaignRunner(
+                spec, workers=0, output_dir=out, wave_size=1,
+                on_cell=kill_after_three,
+            ).run()
+        # The partial run left a valid, resumable campaign directory.
+        partial = read_records(out)
+        assert 0 < len(partial) < spec.n_cells
+
+        resumed = CampaignRunner(
+            spec, workers=0, output_dir=out
+        ).run()
+        assert resumed.n_ok == spec.n_cells
+        # Every cell finished before the kill is served from cache...
+        assert resumed.n_cached >= 3
+        assert resumed.n_solved == spec.n_cells - resumed.n_cached
+        # ... with records bit-identical to the pre-kill ones ...
+        by_index = {r.cell.index: r for r in resumed.records}
+        for rec in seen:
+            replay = by_index[rec.cell.index]
+            assert replay.cached
+            assert replay.to_dict() | {"cached": False} == \
+                rec.to_dict() | {"cached": False}
+        # ... and content-identical to an uninterrupted fresh run.
+        uninterrupted = CampaignRunner(
+            spec, workers=0, output_dir=tmp_path / "clean"
+        ).run()
+        assert [r.content_dict() for r in resumed.records] == [
+            r.content_dict() for r in uninterrupted.records
+        ]
+
+    def test_cached_schedules_bit_identical(self, tmp_path):
+        """The cache payload carries the full schedule; a resumed run
+        must replay it bit-for-bit (same spill JSON)."""
+        from repro.service.cache import ResultCache
+
+        spec = small_spec(seeds=(0,))
+        out = tmp_path / "c"
+        CampaignRunner(spec, workers=0, output_dir=out).run()
+        cache = ResultCache(capacity=8, spill_dir=out / "cache")
+        cell = spec.expand()[0]
+        key = (
+            cell.instance().content_key(), cell.algorithm, cell.priority
+        )
+        payload = cache.get(key)
+        assert payload is not None and payload["schedule"] is not None
+        # Identical to a direct pipeline solve of the same cell.
+        from repro.io import schedule_to_dict
+        from repro.pipeline import SchedulingPipeline
+
+        direct = SchedulingPipeline(
+            cell.algorithm, cell.priority
+        ).solve(cell.instance())
+        assert payload["schedule"] == schedule_to_dict(direct.schedule)
+        assert payload["makespan"] == direct.makespan
+
+    def test_cell_failure_isolated(self, tmp_path):
+        # ltw requires m >= 2: machines=(1,) makes every ltw cell fail
+        # while the sequential cells still succeed.
+        spec = small_spec(
+            machines=(1,),
+            strategies=(
+                ("ltw", "earliest-start"),
+                ("sequential", "earliest-start"),
+            ),
+        )
+        result = CampaignRunner(
+            spec, workers=0, output_dir=tmp_path / "c"
+        ).run()
+        assert result.n_errors == 4 and result.n_ok == 4
+        assert all(
+            (r.cell.algorithm == "ltw") == (not r.ok)
+            for r in result.records
+        )
+        # Failed cells are retried on the next run (never cached) ...
+        again = CampaignRunner(
+            spec, workers=0, output_dir=tmp_path / "c"
+        ).run()
+        assert again.n_cached == 4 and again.n_solved == 0
+        assert again.n_errors == 4
+
+    def test_workers_pool_matches_inprocess(self, tmp_path):
+        spec = small_spec(seeds=(0,))
+        a = CampaignRunner(
+            spec, workers=0, output_dir=tmp_path / "a"
+        ).run()
+        b = CampaignRunner(
+            spec, workers=2, output_dir=tmp_path / "b"
+        ).run()
+        assert [r.content_dict() for r in a.records] == [
+            r.content_dict() for r in b.records
+        ]
+
+    def test_wave_size_validation(self):
+        with pytest.raises(ValueError, match="wave_size"):
+            CampaignRunner(small_spec(), wave_size=0)
+
+
+# ---------------------------------------------------------------------------
+# report
+# ---------------------------------------------------------------------------
+class TestReport:
+    @pytest.fixture(scope="class")
+    def campaign_dir(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("campaign") / "unit"
+        CampaignRunner(small_spec(), workers=0, output_dir=out).run()
+        return out
+
+    def test_write_report(self, campaign_dir):
+        paths = write_report(campaign_dir)
+        md = open(paths["markdown"]).read()
+        assert "# Campaign report: unit" in md
+        assert "jz x earliest-start" in md
+        assert "certified-bound violations (observed ratio < 1): **0**" in md
+        assert "## Results by DAG family" in md
+        assert "### layered" in md and "### fork_join" in md
+        assert "gantt_layered.svg" in md
+        html_text = open(paths["html"]).read()
+        assert html_text.startswith("<!DOCTYPE html>")
+        assert "<svg" in html_text  # inline gantts
+        assert "repro-jz-malleable" in html_text  # env footer
+        for family in ("layered", "fork_join"):
+            svg = open(paths[f"gantt_{family}"]).read()
+            assert svg.startswith("<svg")
+
+    def test_report_without_cache_skips_gantts(self, tmp_path):
+        out = tmp_path / "c"
+        CampaignRunner(
+            small_spec(seeds=(0,)), workers=0, output_dir=out
+        ).run()
+        import shutil
+
+        shutil.rmtree(out / "cache")
+        paths = write_report(out)
+        assert "Representative schedules" not in open(
+            paths["markdown"]
+        ).read()
+
+    def test_report_requires_campaign_dir(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="spec.json"):
+            write_report(tmp_path)
+
+    def test_aggregate_and_violations(self):
+        def rec(family, algorithm, ratio, ok=True):
+            from repro.experiments.spec import CampaignCell
+
+            cell = CampaignCell(
+                index=0, family=family, model="power", size=10, m=4,
+                seed=0, algorithm=algorithm, priority="earliest-start",
+            )
+            return CellRecord(
+                cell=cell,
+                status="ok" if ok else "error",
+                observed_ratio=ratio if ok else None,
+                wall_time=0.5,
+            )
+
+        records = [
+            rec("layered", "jz", 1.2),
+            rec("layered", "jz", 1.4),
+            rec("layered", "sequential", 2.0),
+            rec("stencil", "jz", 1.1),
+            rec("stencil", "jz", None, ok=False),
+        ]
+        agg = aggregate(records)
+        [jz, seq] = agg["strategies"]
+        assert jz["algorithm"] == "jz" and jz["cells"] == 3
+        assert jz["mean_ratio"] == pytest.approx((1.2 + 1.4 + 1.1) / 3)
+        assert seq["max_ratio"] == 2.0
+        assert set(agg["families"]) == {"layered", "stencil"}
+        assert bound_violations(records) == []
+        bad = records + [rec("layered", "jz", 0.95)]
+        assert len(bound_violations(bad)) == 1
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+class TestCampaignCli:
+    @pytest.fixture()
+    def chdir_tmp(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        spec_path = tmp_path / "unit.toml"
+        spec_path.write_text(SMOKE_TOML)
+        return tmp_path
+
+    def test_run_report_list(self, chdir_tmp, capsys):
+        from repro.cli import main
+
+        assert main(["campaign", "run", "unit.toml", "-w", "0"]) == 0
+        err = capsys.readouterr().err
+        assert "8/8 ok (8 solved, 0 from cache" in err
+        # Re-run: everything from cache.
+        assert main(["campaign", "run", "unit.toml", "-w", "0"]) == 0
+        err = capsys.readouterr().err
+        assert "(0 solved, 8 from cache, 0 errors)" in err
+        # Report with no target finds the campaign.
+        assert main(["campaign", "report"]) == 0
+        out = capsys.readouterr().out
+        assert "report.md" in out and "report.html" in out
+        assert (chdir_tmp / "campaigns/unit/report.html").is_file()
+        assert main(["campaign", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "unit" in out and "8/8 ok" in out and "yes" in out
+
+    def test_run_bad_spec_exit_2(self, chdir_tmp, capsys):
+        from repro.cli import main
+
+        (chdir_tmp / "bad.toml").write_text(
+            SMOKE_TOML.replace('"layered"', '"nope"')
+        )
+        assert main(["campaign", "run", "bad.toml"]) == 2
+        assert "unknown DAG family" in capsys.readouterr().err
+        assert main(["campaign", "run", "missing.toml"]) == 2
+
+    def test_report_no_campaigns_exit_2(self, chdir_tmp, capsys):
+        from repro.cli import main
+
+        assert main(["campaign", "report"]) == 2
+        assert "no campaigns" in capsys.readouterr().err
+
+    def test_report_spec_file_target(self, chdir_tmp, capsys):
+        from repro.cli import main
+
+        assert main(["campaign", "run", "unit.toml", "-w", "0"]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "report", "unit.toml"]) == 0
+        assert "report.html" in capsys.readouterr().out
+
+    def test_list_empty(self, chdir_tmp, capsys):
+        from repro.cli import main
+
+        assert main(["campaign", "list"]) == 0
+        assert "no campaign" in capsys.readouterr().out
+
+    def test_run_with_errors_exit_1(self, chdir_tmp, capsys):
+        from repro.cli import main
+
+        (chdir_tmp / "err.toml").write_text(
+            SMOKE_TOML.replace("machines = [4]", "machines = [1]")
+            .replace('algorithm = "jz"', 'algorithm = "ltw"')
+            .replace('name = "unit"', 'name = "unit-err"')
+        )
+        assert main(["campaign", "run", "err.toml", "-w", "0", "-q"]) == 1
+        assert "4 errors" in capsys.readouterr().err

@@ -1,0 +1,43 @@
+"""The package version must be stated once and agree everywhere:
+``pyproject.toml``, ``repro.__version__`` and ``repro-sched --version``.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.cli import main
+
+_ROOT = Path(__file__).resolve().parents[1]
+
+
+def pyproject_version() -> str:
+    text = (_ROOT / "pyproject.toml").read_text()
+    try:
+        import tomllib
+
+        return tomllib.loads(text)["project"]["version"]
+    except ImportError:  # Python 3.10: no tomllib, no added dependency
+        match = re.search(
+            r'^version\s*=\s*"([^"]+)"', text, re.MULTILINE
+        )
+        assert match, "pyproject.toml has no version field"
+        return match.group(1)
+
+
+def test_package_version_matches_pyproject():
+    assert repro.__version__ == pyproject_version()
+
+
+def test_cli_version_matches_pyproject(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    out = capsys.readouterr().out.strip()
+    assert out == f"repro-sched {pyproject_version()}"
+
+
+def test_version_is_pep440_ish():
+    assert re.fullmatch(r"\d+\.\d+\.\d+", repro.__version__)
