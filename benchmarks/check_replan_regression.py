@@ -1,0 +1,75 @@
+"""CI gate: fail when warm delta re-solves stop paying for themselves.
+
+Checks a ``bench_replan.py`` output (smoke or full):
+
+1. **Correctness flags** — every cell must report ``makespan_equal``,
+   ``allotment_equal`` and ``validator_clean`` (the warm path is an
+   optimization only: any divergence from the cold solve is a bug, not
+   a regression), and must actually have taken the warm path.
+2. **Within-run speedup** (hardware-independent) — each cell measures
+   the warm ``resolve_delta`` and a from-scratch solve of the same
+   evolved child in the *same* run; the warm side must be at least
+   ``--min-speedup`` (default 5×) faster at n >= 10000 and
+   ``--smoke-min-speedup`` (default 3×, the LP is a smaller fraction
+   of the total there) below.
+
+Usage:  python benchmarks/check_replan_regression.py MEASURED.json
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("measured", help="bench_replan output JSON")
+    ap.add_argument("--min-speedup", type=float, default=5.0,
+                    help="required warm-vs-cold speedup at n >= 10000")
+    ap.add_argument("--smoke-min-speedup", type=float, default=3.0,
+                    help="required speedup below n = 10000")
+    args = ap.parse_args(argv)
+
+    data = json.loads(Path(args.measured).read_text())
+    cells = data.get("cells", [])
+    failures = []
+    if not cells:
+        failures.append(f"no cells in {args.measured}")
+    for cell in cells:
+        n = cell["n"]
+        tag = f"{cell['shape']} n={n}"
+        for flag in ("makespan_equal", "allotment_equal",
+                     "validator_clean"):
+            if not cell.get(flag):
+                failures.append(f"{tag}: {flag} is false")
+        if cell.get("mode") != "warm":
+            failures.append(
+                f"{tag}: took the {cell.get('mode')!r} path, not warm"
+            )
+        required = (
+            args.min_speedup if n >= 10000 else args.smoke_min_speedup
+        )
+        speedup = cell.get("speedup") or 0.0
+        status = "ok" if speedup >= required else "REGRESSED"
+        print(
+            f"{tag:>22}: warm {cell['warm_s']:.3f}s vs cold "
+            f"{cell['cold_s']:.3f}s = {speedup:.1f}x "
+            f"(required {required:.1f}x) {status}"
+        )
+        if speedup < required:
+            failures.append(
+                f"{tag}: speedup {speedup:.2f}x < {required:.1f}x"
+            )
+
+    if failures:
+        print("replan regression gate FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("replan regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

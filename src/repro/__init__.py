@@ -26,13 +26,39 @@ schedulers, plus an exact branch-and-bound for tiny instances) live in
 Pipeline API (:mod:`repro.pipeline`) — every solver as a registered
 strategy pair::
 
-    from repro import SchedulingPipeline, list_strategies
+    from repro import SchedulingPipeline, list_strategies, solve
 
+    report = solve(instance)                # jz × earliest-start default
     report = SchedulingPipeline("ltw", "critical-path").solve(instance)
     report.makespan, report.lower_bound, report.observed_ratio
     [i.name for i in list_strategies("allotment")]
     # ['bsearch', 'full', 'greedy-critical-path', 'jz', 'ltw',
     #  'sequential']
+
+Evolution API (:mod:`repro.core.evolve` + :mod:`repro.pipeline
+.incremental`) — online instance mutation with delta re-solves::
+
+    from repro import Instance, ReplanSession, evolve
+
+    child, delta = evolve(instance, [
+        {"op": "retime", "task": 3, "times": [9.0, 5.0]},
+        {"op": "complete", "task": 0, "start": 0.0},
+    ])
+    # or imperatively:
+    ev = instance.evolve()
+    ev.retime(3, [9.0, 5.0]); ev.mark_completed(0, 0.0)
+    child, delta = ev.commit()
+
+    session = ReplanSession(instance); session.solve()
+    result = session.resolve_delta(child, delta)     # warm LP re-solve
+    result.mode, result.lp_edits, result.disturbance.n_disturbed
+
+Non-structural deltas re-solve LP (9) inside a resident dual-simplex
+model — only the changed bounds/coefficients are pushed, the basis is
+reused — and ``resolve_delta(..., replan=True)`` swaps in the anchored,
+disturbance-minimizing schedule (completed tasks frozen, survivors kept
+near their old slots).  The daemon exposes the same flow as
+``POST /evolve`` and ``POST /replan``; the CLI as ``repro evolve``.
 
 Batch API (:mod:`repro.engine`)::
 
@@ -89,10 +115,13 @@ the CLI; like the service, not imported here — import it explicitly).
 from .core import (
     AssumptionError,
     Instance,
+    InstanceDelta,
+    InstanceEvolution,
     JZCertificate,
     JZParameters,
     JZResult,
     MalleableTask,
+    evolve,
     extract_heavy_path,
     jz_parameters,
     jz_schedule,
@@ -110,21 +139,27 @@ from .engine import (
     solve_many,
 )
 from .pipeline import (
+    DeltaReport,
+    ReplanSession,
     SchedulingPipeline,
     SolveReport,
     UnknownStrategyError,
     list_strategies,
+    solve,
 )
 from .schedule import (
     Schedule,
+    ScheduleDiff,
     ScheduledTask,
     assert_feasible,
+    diff_schedules,
     render_gantt,
+    replan_schedule,
     simulate,
     validate_schedule,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "AssumptionError",
@@ -132,18 +167,25 @@ __all__ = [
     "BatchResult",
     "BatchRunner",
     "Dag",
+    "DeltaReport",
     "Instance",
+    "InstanceDelta",
+    "InstanceEvolution",
     "JZCertificate",
     "JZParameters",
     "JZResult",
     "LowerBounds",
     "MalleableTask",
+    "ReplanSession",
     "Schedule",
+    "ScheduleDiff",
     "ScheduledTask",
     "SchedulingPipeline",
     "SolveReport",
     "UnknownStrategyError",
     "assert_feasible",
+    "diff_schedules",
+    "evolve",
     "extract_heavy_path",
     "jz_parameters",
     "jz_schedule",
@@ -153,7 +195,9 @@ __all__ = [
     "lower_bounds",
     "ratio_bound",
     "render_gantt",
+    "replan_schedule",
     "simulate",
+    "solve",
     "solve_allotment_lp",
     "solve_many",
     "validate_schedule",

@@ -11,6 +11,10 @@
 * ``params``     — print ρ(m), μ(m), r(m) for a machine size.
 * ``generate``   — emit a workload instance JSON to stdout or a file.
 * ``validate``   — check a schedule JSON against an instance JSON.
+* ``evolve``     — apply a JSON mutation list to an instance
+  (:mod:`repro.core.evolve`); with ``--replan``, re-solve the evolved
+  instance (warm delta re-solve when eligible) and print the
+  disturbance report.
 * ``batch``      — solve many instance JSON files (or a generated sweep)
   on a process pool via :mod:`repro.engine`, writing JSON-lines results.
 * ``serve``      — run the scheduling daemon (:mod:`repro.service`):
@@ -64,6 +68,25 @@ examples:
 
 endpoints: POST /solve  GET /stats  GET /healthz  POST /shutdown
 client:    python -c "from repro.service import ServiceClient; ..."
+"""
+
+_EVOLVE_EPILOG = """\
+examples:
+  %(prog)s inst.json --ops ops.json -o evolved.json
+  %(prog)s inst.json --ops ops.json --replan
+  %(prog)s inst.json --ops ops.json --replan --anchored \\
+      --schedule-out replanned.json
+  echo '[{"op": "retime", "task": 3, "times": [9.0, 5.0]}]' | \\
+      %(prog)s inst.json --ops -
+
+operation objects (see docs/evolve.md):
+  {"op": "retime",      "task": J, "times": [...]}
+  {"op": "complete",    "task": J, "start": T}
+  {"op": "add_task",    "times": [...], "predecessors": [...],
+                        "successors": [...]}
+  {"op": "remove_task", "task": J}
+  {"op": "add_edge",    "source": U, "target": V}
+  {"op": "remove_edge", "source": U, "target": V}
 """
 
 _CAMPAIGN_EPILOG = """\
@@ -171,6 +194,47 @@ def build_parser() -> argparse.ArgumentParser:
     v = sub.add_parser("validate", help="validate schedule vs instance")
     v.add_argument("instance")
     v.add_argument("schedule")
+
+    e = sub.add_parser(
+        "evolve",
+        help="apply a mutation list to an instance (optionally replan)",
+        epilog=_EVOLVE_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    e.add_argument("instance", help="path to the parent instance JSON")
+    e.add_argument(
+        "--ops", required=True, metavar="FILE",
+        help=(
+            "JSON array of operations (retime / complete / add_task / "
+            "remove_task / add_edge / remove_edge); '-' reads stdin"
+        ),
+    )
+    e.add_argument(
+        "-o", "--output", metavar="FILE",
+        help="write the evolved instance JSON here",
+    )
+    e.add_argument(
+        "--name", default=None, help="name for the evolved instance"
+    )
+    e.add_argument(
+        "--replan", action="store_true",
+        help=(
+            "re-solve after evolving (warm delta re-solve when "
+            "eligible) and print the disturbance report"
+        ),
+    )
+    e.add_argument(
+        "--anchored", action="store_true",
+        help=(
+            "with --replan: keep completed tasks frozen and survivors "
+            "near their old slots instead of the free re-solve schedule"
+        ),
+    )
+    e.add_argument(
+        "--schedule-out", metavar="FILE",
+        help="with --replan: write the new schedule JSON here",
+    )
+    _add_strategy_options(e)
 
     b = sub.add_parser(
         "batch",
@@ -461,6 +525,100 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_evolve(args: argparse.Namespace) -> int:
+    from .core.evolve import evolve
+    from .dag import CycleError
+    from .io import instance_to_dict, load_instance, save_schedule
+
+    if not args.replan and (args.anchored or args.schedule_out):
+        print(
+            "evolve: --anchored/--schedule-out need --replan",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        inst = load_instance(args.instance)
+    except Exception as exc:
+        print(
+            f"evolve: cannot load instance {args.instance!r}: {exc}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        if args.ops == "-":
+            operations = json.load(sys.stdin)
+        else:
+            with open(args.ops) as fh:
+                operations = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"evolve: cannot read --ops: {exc}", file=sys.stderr)
+        return 2
+    if not isinstance(operations, list):
+        print("evolve: --ops must hold a JSON array", file=sys.stderr)
+        return 2
+    try:
+        child, delta = evolve(inst, operations, name=args.name)
+    except (CycleError, ValueError, KeyError) as exc:
+        print(f"evolve: {exc}", file=sys.stderr)
+        return 1
+    s = delta.summary()
+    print(
+        f"evolved {delta.n_parent} -> {delta.n_child} tasks "
+        f"(retimed {len(delta.retimed_tasks)}, "
+        f"added {len(delta.added_tasks)}, "
+        f"removed {len(delta.removed_tasks)}, "
+        f"edges +{len(delta.added_edges)}/-{len(delta.removed_edges)}, "
+        f"completed {len(delta.completed)})"
+    )
+    print(f"fingerprint: {s['parent_fingerprint'][:16]}... -> "
+          f"{s['child_fingerprint'][:16]}...")
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(instance_to_dict(child), fh, indent=2)
+        print(f"evolved instance written to {args.output}")
+    if not args.replan:
+        return 0
+
+    from .pipeline import UnknownStrategyError
+    from .pipeline.incremental import ReplanSession
+
+    try:
+        session = ReplanSession(
+            inst, algorithm=args.algorithm, priority=args.priority
+        )
+    except UnknownStrategyError as exc:
+        print(f"evolve: {exc}", file=sys.stderr)
+        return 2
+    try:
+        session.solve()
+        result = session.resolve_delta(child, delta, replan=args.anchored)
+    except Exception as exc:
+        print(f"evolve: replan failed: {exc}", file=sys.stderr)
+        return 1
+    rep = result.report
+    print(
+        f"replan[{rep.algorithm}×{rep.priority}] mode={result.mode} "
+        f"lp_edits={result.lp_edits}"
+    )
+    print(
+        f"makespan={rep.makespan:.6g}  lower_bound={rep.lower_bound:.6g}"
+        f"  observed_ratio={rep.observed_ratio:.4f}"
+    )
+    d = result.disturbance
+    if d is not None:
+        print(
+            f"disturbance: {d.n_disturbed} disturbed "
+            f"({len(d.moved)} moved, {len(d.resized)} resized), "
+            f"{d.n_unchanged} unchanged, "
+            f"total_shift={d.total_shift:.6g}, "
+            f"max_shift={d.max_shift:.6g}"
+        )
+    if args.schedule_out:
+        save_schedule(rep.schedule, args.schedule_out)
+        print(f"schedule written to {args.schedule_out}")
+    return 0
+
+
 def _cmd_batch(args: argparse.Namespace) -> int:
     from .engine import BatchRunner, write_jsonl
     from .pipeline import UnknownStrategyError
@@ -746,6 +904,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "params": _cmd_params,
         "generate": _cmd_generate,
         "validate": _cmd_validate,
+        "evolve": _cmd_evolve,
         "batch": _cmd_batch,
         "serve": _cmd_serve,
         "campaign": _cmd_campaign,

@@ -43,6 +43,12 @@ from .allotment_bsearch import (
 )
 from .heavy_path import HeavyPath, extract_heavy_path
 from .two_phase import JZCertificate, JZResult, jz_schedule
+from .evolve import (
+    InstanceDelta,
+    InstanceEvolution,
+    apply_operations,
+    evolve,
+)
 
 __all__ = [
     "AllotmentLp",
@@ -58,6 +64,10 @@ __all__ = [
     "HeavyPath",
     "Instance",
     "InstanceArrays",
+    "InstanceDelta",
+    "InstanceEvolution",
+    "apply_operations",
+    "evolve",
     "JZCertificate",
     "JZParameters",
     "JZResult",

@@ -41,6 +41,14 @@ def memoized_on_instance(
     un-weakref-able instance-like stand-ins (some test doubles) simply
     recompute.  Used by every per-instance array assembly
     (:func:`instance_arrays`, the LP (9) and deadline-LP assemblies).
+
+    The wrapper exposes the cache for the evolution fast path
+    (:mod:`repro.core.evolve`): ``wrapper.seed(instance, value)`` plants
+    a precomputed entry — an evolved instance whose arrays were patched
+    from the parent's never pays the from-scratch assembly — and
+    ``wrapper.peek(instance)`` reads the entry without computing.  A
+    seeded value must equal what ``fn(instance)`` would build; the
+    evolve test suite asserts exactly that.
     """
     cache: "weakref.WeakKeyDictionary[Instance, _T]" = (
         weakref.WeakKeyDictionary()
@@ -57,6 +65,20 @@ def memoized_on_instance(
             cache[instance] = cached
         return cached
 
+    def seed(instance: Instance, value: _T) -> None:
+        try:
+            cache[instance] = value
+        except TypeError:  # un-weakref-able stand-in: nothing to seed
+            pass
+
+    def peek(instance: Instance):
+        try:
+            return cache.get(instance)
+        except TypeError:
+            return None
+
+    wrapper.seed = seed  # type: ignore[attr-defined]
+    wrapper.peek = peek  # type: ignore[attr-defined]
     return wrapper
 
 

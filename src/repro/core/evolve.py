@@ -1,0 +1,562 @@
+"""Instance evolution: mutate-by-copy with a structured diff.
+
+Real traffic against a scheduler is not one-shot: tasks finish, new
+work arrives, profiles are re-estimated, arcs appear as data
+dependencies materialize.  :class:`repro.core.Instance` is immutable by
+design — every consumer (the content-addressed service cache, the
+memoized array assemblies, the warm LP state) relies on that — so
+mutation is expressed as *evolution*: :meth:`Instance.evolve` opens an
+:class:`InstanceEvolution` builder, mutations are recorded against the
+parent's ids, and :meth:`InstanceEvolution.commit` produces a **new**
+instance plus an :class:`InstanceDelta` describing exactly what
+changed::
+
+    ev = instance.evolve()
+    ev.retime(3, [12.0, 7.0, 5.0, 4.0])        # re-estimated profile
+    ev.mark_completed(0, start=0.0)            # frozen by execution
+    new_id = ev.add_task([8.0, 5.0, 4.0, 3.5], predecessors=[3])
+    child, delta = ev.commit()
+
+    delta.retimed_tasks        # (3,)
+    delta.node_map             # old id -> new id (-1 = removed)
+    delta.is_structural        # False for pure retimes/completions
+    child.content_key()        # recomputed — never inherited
+
+The commit is engineered for the incremental re-solve path
+(:mod:`repro.pipeline.incremental`):
+
+* the precedence DAG is patched **incrementally** via
+  :func:`repro.dag.patch.patch_csr` — CSR ``indptr``/``indices``
+  splicing instead of a rebuild, preserving the cached level
+  decompositions whenever the mutation provably cannot move a level
+  (a graph-untouched commit shares the parent's :class:`~repro.dag.Dag`
+  object outright);
+* the memoized array assemblies (:func:`repro.core.arrays
+  .instance_arrays`, :func:`repro.core.lp.assemble_allotment_arrays`)
+  are *seeded* for the child by patching the parent's cached arrays in
+  the retimed rows, so a small mutation never pays a from-scratch
+  assembly;
+* the child's content key is recomputed from its actual content (the
+  memo starts empty — it is never copied from the parent), keeping the
+  service cache and the campaign resume store honest under edits.
+
+Operations reference **parent ids**; tasks added in the same evolution
+are referenced by the provisional id :meth:`InstanceEvolution.add_task`
+returns.  On commit, surviving tasks are compacted in id order and
+added tasks appended after them; ``delta.node_map`` records the
+old→new mapping.  The JSON operation list used by the service's
+``POST /evolve`` endpoint and the ``repro evolve`` CLI subcommand is
+applied with :func:`apply_operations`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
+
+from ..dag import Dag
+from ..dag.graph import CycleError
+from ..dag.patch import patch_csr
+from .instance import Instance
+from .task import MalleableTask
+
+__all__ = [
+    "InstanceDelta",
+    "InstanceEvolution",
+    "apply_operations",
+    "evolve",
+]
+
+
+@dataclass(frozen=True)
+class InstanceDelta:
+    """Structured diff between a parent instance and its evolved child.
+
+    Ids in ``retimed_tasks``, ``completed``, ``added_tasks`` and
+    ``added_edges`` live in the **child's** id space; ``removed_tasks``
+    and ``removed_edges`` in the parent's.  ``node_map[old_id]`` is the
+    child id of a surviving parent task, ``-1`` for a removed one.
+    """
+
+    parent_key: str
+    child_key: str
+    n_parent: int
+    n_child: int
+    node_map: Tuple[int, ...]
+    added_tasks: Tuple[int, ...]
+    removed_tasks: Tuple[int, ...]
+    retimed_tasks: Tuple[int, ...]
+    completed: Mapping[int, float]
+    added_edges: Tuple[Tuple[int, int], ...]
+    removed_edges: Tuple[Tuple[int, int], ...]
+
+    @property
+    def is_structural(self) -> bool:
+        """Whether the task set or the precedence relation changed.
+
+        Non-structural deltas (retimes and completions only) share the
+        parent's DAG object and are eligible for the warm LP re-solve
+        path of :mod:`repro.pipeline.incremental`.
+        """
+        return bool(
+            self.added_tasks
+            or self.removed_tasks
+            or self.added_edges
+            or self.removed_edges
+        )
+
+    @property
+    def magnitude(self) -> float:
+        """Fraction of the parent the mutation touched (>= 0; may
+        exceed 1 for bulk edits).  The incremental solver falls back to
+        a cold solve above its ``max_warm_magnitude``."""
+        touched = (
+            len(self.added_tasks)
+            + len(self.removed_tasks)
+            + len(self.retimed_tasks)
+            + len(self.added_edges)
+            + len(self.removed_edges)
+        )
+        return touched / max(1, self.n_parent)
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-compatible digest (the service's ``delta`` payload)."""
+        return {
+            "parent_fingerprint": self.parent_key,
+            "child_fingerprint": self.child_key,
+            "n_parent": self.n_parent,
+            "n_child": self.n_child,
+            "added_tasks": list(self.added_tasks),
+            "removed_tasks": list(self.removed_tasks),
+            "retimed_tasks": list(self.retimed_tasks),
+            "completed": {str(k): v for k, v in self.completed.items()},
+            "added_edges": [list(e) for e in self.added_edges],
+            "removed_edges": [list(e) for e in self.removed_edges],
+            "structural": self.is_structural,
+            "magnitude": self.magnitude,
+        }
+
+
+class InstanceEvolution:
+    """Mutation recorder for one :meth:`Instance.evolve` round.
+
+    All mutators return ``self`` (except :meth:`add_task`, which
+    returns the provisional id of the new task) so calls chain.  Cheap
+    validation happens at call time; cross-operation consistency and
+    acyclicity at :meth:`commit`.
+    """
+
+    def __init__(self, instance: Instance):
+        self._parent = instance
+        self._retimes: Dict[int, MalleableTask] = {}
+        self._completed: Dict[int, float] = {}
+        self._removed_tasks: set = set()
+        self._added: List[Tuple[MalleableTask, Tuple[int, ...], Tuple[int, ...]]] = []
+        self._added_edges: List[Tuple[int, int]] = []
+        self._removed_edges: List[Tuple[int, int]] = []
+
+    # ------------------------------------------------------------------
+    # mutators
+    # ------------------------------------------------------------------
+    def _check_parent_id(self, task: int, verb: str) -> int:
+        task = int(task)
+        if not (0 <= task < self._parent.n_tasks):
+            raise ValueError(
+                f"cannot {verb} task {task}: parent has "
+                f"{self._parent.n_tasks} tasks"
+            )
+        return task
+
+    def retime(
+        self, task: int, times: Sequence[float], name: Optional[str] = None
+    ) -> "InstanceEvolution":
+        """Replace task ``task``'s processing-time profile.
+
+        The new profile must cover the same ``m`` and satisfy the same
+        model assumptions (checked here, via :class:`MalleableTask`).
+        """
+        task = self._check_parent_id(task, "retime")
+        old = self._parent.task(task)
+        replacement = MalleableTask(
+            times, name=old.name if name is None else name
+        )
+        if replacement.max_processors != self._parent.m:
+            raise ValueError(
+                f"retimed profile of task {task} covers "
+                f"{replacement.max_processors} processors, instance "
+                f"has m={self._parent.m}"
+            )
+        self._retimes[task] = replacement
+        return self
+
+    def mark_completed(
+        self, task: int, start: float
+    ) -> "InstanceEvolution":
+        """Record that ``task`` already started executing at ``start``.
+
+        The task stays in the instance (its successors still need its
+        completion time); the frozen start is carried on the delta so
+        the replanner (:mod:`repro.schedule.replan`) anchors it instead
+        of moving it.
+        """
+        task = self._check_parent_id(task, "mark completed")
+        start = float(start)
+        if not (start >= 0.0) or not np.isfinite(start):
+            raise ValueError(
+                f"frozen start of task {task} must be finite and "
+                f">= 0, got {start}"
+            )
+        self._completed[task] = start
+        return self
+
+    def add_task(
+        self,
+        times: Sequence[float],
+        predecessors: Sequence[int] = (),
+        successors: Sequence[int] = (),
+        name: Optional[str] = None,
+    ) -> int:
+        """Append a new task; returns its **provisional** id.
+
+        Provisional ids continue the parent's numbering
+        (``n_parent, n_parent + 1, ...``) and may be used in later
+        ``add_edge``/``successors`` references within this evolution;
+        ``delta.node_map`` does not cover them — their final ids are in
+        ``delta.added_tasks``, in creation order.
+        """
+        task = MalleableTask(times, name=name)
+        if task.max_processors != self._parent.m:
+            raise ValueError(
+                f"new task profile covers {task.max_processors} "
+                f"processors, instance has m={self._parent.m}"
+            )
+        provisional = self._parent.n_tasks + len(self._added)
+        self._added.append(
+            (task, tuple(int(p) for p in predecessors),
+             tuple(int(s) for s in successors))
+        )
+        for p in self._added[-1][1]:
+            self.add_edge(p, provisional)
+        for s in self._added[-1][2]:
+            self.add_edge(provisional, s)
+        return provisional
+
+    def remove_task(self, task: int) -> "InstanceEvolution":
+        """Drop ``task`` and every arc touching it; surviving ids are
+        compacted at commit (see ``delta.node_map``)."""
+        self._removed_tasks.add(self._check_parent_id(task, "remove"))
+        return self
+
+    def add_edge(self, u: int, v: int) -> "InstanceEvolution":
+        """Add the arc ``(u, v)``; endpoints may be parent ids or
+        provisional ids from :meth:`add_task`."""
+        u, v = int(u), int(v)
+        if u == v:
+            raise CycleError(f"self-loop on task {u}")
+        hi = self._parent.n_tasks + len(self._added)
+        for e in (u, v):
+            if not (0 <= e < hi):
+                raise ValueError(
+                    f"edge endpoint {e} out of range (known ids: "
+                    f"0..{hi - 1})"
+                )
+        self._added_edges.append((u, v))
+        return self
+
+    def remove_edge(self, u: int, v: int) -> "InstanceEvolution":
+        """Remove the parent arc ``(u, v)`` (must exist)."""
+        u = self._check_parent_id(u, "remove edge from")
+        v = self._check_parent_id(v, "remove edge to")
+        if not self._parent.dag.has_edge(u, v):
+            raise ValueError(f"edge ({u}, {v}) not present in parent")
+        self._removed_edges.append((u, v))
+        return self
+
+    # ------------------------------------------------------------------
+    # commit
+    # ------------------------------------------------------------------
+    def commit(
+        self, *, name: Optional[str] = None
+    ) -> Tuple[Instance, InstanceDelta]:
+        """Apply the recorded mutations; returns ``(child, delta)``.
+
+        Raises :class:`ValueError` on inconsistent operations (retiming
+        a removed task, duplicate arcs, arcs touching removed tasks)
+        and :class:`~repro.dag.CycleError` when added arcs close a
+        directed cycle.  The parent is never modified.
+        """
+        parent = self._parent
+        n_parent = parent.n_tasks
+        removed = self._removed_tasks
+        for j in sorted(self._retimes):
+            if j in removed:
+                raise ValueError(f"task {j} both retimed and removed")
+        for j in sorted(self._completed):
+            if j in removed:
+                raise ValueError(
+                    f"task {j} both marked completed and removed"
+                )
+
+        # Old -> new id map: survivors compacted in order, additions
+        # appended after them.
+        node_map = np.full(n_parent, -1, dtype=np.intp)
+        survivors = [j for j in range(n_parent) if j not in removed]
+        node_map[survivors] = np.arange(len(survivors), dtype=np.intp)
+        n_child = len(survivors) + len(self._added)
+
+        def to_child_id(e: int) -> int:
+            if e < n_parent:
+                mapped = int(node_map[e])
+                if mapped < 0:
+                    raise ValueError(
+                        f"edge endpoint {e} refers to a removed task"
+                    )
+                return mapped
+            return len(survivors) + (e - n_parent)  # provisional id
+
+        removed_edge_set = set(self._removed_edges)
+        added_child_edges: List[Tuple[int, int]] = []
+        seen_added: set = set()
+        for (u, v) in self._added_edges:
+            cu, cv = to_child_id(u), to_child_id(v)
+            if (cu, cv) in seen_added:
+                continue  # idempotent duplicate add
+            if (
+                u < n_parent
+                and v < n_parent
+                and parent.dag.has_edge(u, v)
+            ):
+                if (u, v) in removed_edge_set:
+                    raise ValueError(
+                        f"edge ({u}, {v}) both added and removed"
+                    )
+                raise ValueError(
+                    f"edge ({u}, {v}) already present in parent"
+                )
+            seen_added.add((cu, cv))
+            added_child_edges.append((cu, cv))
+        surviving_removed_edges = [
+            (int(node_map[u]), int(node_map[v]))
+            for (u, v) in dict.fromkeys(self._removed_edges)
+            if node_map[u] >= 0 and node_map[v] >= 0
+        ]
+
+        structural_nodes = bool(removed or self._added)
+        graph_changed = bool(
+            structural_nodes
+            or added_child_edges
+            or surviving_removed_edges
+        )
+        if graph_changed:
+            try:
+                patched = patch_csr(
+                    parent.dag.to_csr(),
+                    n_new=n_child if structural_nodes else None,
+                    node_map=node_map if structural_nodes else None,
+                    added_edges=added_child_edges,
+                    removed_edges=surviving_removed_edges,
+                )
+            except ValueError as exc:
+                if "cycle" in str(exc):
+                    raise CycleError(str(exc)) from None
+                raise
+            child_dag = Dag._from_trusted_csr(patched)
+        else:
+            # Pure retime/completion: the graph object — and with it
+            # every cached level decomposition — is shared outright.
+            child_dag = parent.dag
+
+        tasks = [
+            self._retimes.get(j, parent.task(j)) for j in survivors
+        ]
+        tasks.extend(t for (t, _p, _s) in self._added)
+        child = Instance(
+            tasks,
+            child_dag,
+            parent.m,
+            name=parent.name if name is None else name,
+        )
+
+        retimed_child_ids = tuple(
+            int(node_map[j]) for j in sorted(self._retimes)
+        )
+        delta = InstanceDelta(
+            parent_key=parent.content_key(),
+            child_key=child.content_key(),
+            n_parent=n_parent,
+            n_child=n_child,
+            node_map=tuple(int(v) for v in node_map),
+            added_tasks=tuple(
+                range(len(survivors), n_child)
+            ),
+            removed_tasks=tuple(sorted(removed)),
+            retimed_tasks=retimed_child_ids,
+            completed={
+                int(node_map[j]): s
+                for j, s in sorted(self._completed.items())
+            },
+            added_edges=tuple(added_child_edges),
+            removed_edges=tuple(dict.fromkeys(self._removed_edges)),
+        )
+        if not delta.is_structural:
+            _seed_child_arrays(parent, child, self._retimes)
+        return child, delta
+
+
+def _seed_child_arrays(
+    parent: Instance,
+    child: Instance,
+    retimes: Mapping[int, MalleableTask],
+) -> None:
+    """Plant patched array assemblies on a non-structural child.
+
+    Only caches the parent actually materialized are patched — evolving
+    a never-solved instance seeds nothing.  When a retimed profile
+    changed its work-segment count the flattened segment layout moves,
+    so seeding is skipped and the child assembles lazily from scratch.
+    """
+    from .arrays import instance_arrays
+    from .lp import assemble_allotment_arrays, patch_allotment_arrays
+
+    parent_arr = instance_arrays.peek(parent)
+    if parent_arr is None:
+        return
+    if not retimes:
+        # Identical profile content: the assembly is shared as-is.
+        instance_arrays.seed(child, parent_arr)
+        lp_arr = assemble_allotment_arrays.peek(parent)
+        if lp_arr is not None:
+            assemble_allotment_arrays.seed(child, lp_arr)
+        return
+    seg_lists = {j: t.segments() for j, t in retimes.items()}
+    if any(
+        len(seg_lists[j]) != int(parent_arr.nseg[j]) for j in retimes
+    ):
+        return  # segment layout moved: lazily rebuild instead
+    times = parent_arr.times.copy()
+    min_time = parent_arr.min_time.copy()
+    max_time = parent_arr.max_time.copy()
+    work_lo = parent_arr.work_lo.copy()
+    seg_slope = parent_arr.seg_slope.copy()
+    seg_intercept = parent_arr.seg_intercept.copy()
+    seg_start = np.zeros(parent_arr.n + 1, dtype=np.intp)
+    np.cumsum(parent_arr.nseg, out=seg_start[1:])
+    for j, task in retimes.items():
+        times[j] = task.times
+        min_time[j] = times[j, parent_arr.m - 1]
+        max_time[j] = times[j, 0]
+        segs = seg_lists[j]
+        work_lo[j] = (
+            task.breakpoints[0][0] * task.breakpoints[0][1]
+            if not segs
+            else 0.0
+        )
+        base = int(seg_start[j])
+        for k, seg in enumerate(segs):
+            seg_slope[base + k] = seg.slope
+            seg_intercept[base + k] = seg.intercept
+    child_arr = parent_arr._replace(
+        times=times,
+        min_time=min_time,
+        max_time=max_time,
+        work_lo=work_lo,
+        seg_slope=seg_slope,
+        seg_intercept=seg_intercept,
+    )
+    instance_arrays.seed(child, child_arr)
+    lp_parent = assemble_allotment_arrays.peek(parent)
+    if lp_parent is not None:
+        assemble_allotment_arrays.seed(
+            child,
+            patch_allotment_arrays(
+                lp_parent, child_arr, sorted(retimes)
+            ),
+        )
+
+
+# ---------------------------------------------------------------------------
+# JSON operation lists (the service / CLI wire format)
+# ---------------------------------------------------------------------------
+def apply_operations(
+    evolution: InstanceEvolution, operations: Sequence[Mapping[str, Any]]
+) -> InstanceEvolution:
+    """Apply a JSON-compatible operation list to an evolution builder.
+
+    Each operation is an object with an ``op`` discriminator::
+
+        {"op": "retime",      "task": 3, "times": [12.0, 7.0, ...]}
+        {"op": "complete",    "task": 0, "start": 0.0}
+        {"op": "add_task",    "times": [...], "predecessors": [1],
+                              "successors": [], "name": "J-new"}
+        {"op": "remove_task", "task": 2}
+        {"op": "add_edge",    "source": 0, "target": 4}
+        {"op": "remove_edge", "source": 0, "target": 2}
+
+    This is the body format of ``POST /evolve`` / ``POST /replan`` and
+    of ``repro evolve --ops``.  Raises :class:`ValueError` on an
+    unknown ``op`` or missing field.
+    """
+    for k, op in enumerate(operations):
+        if not isinstance(op, Mapping):
+            raise ValueError(
+                f"operation {k}: expected an object, got "
+                f"{type(op).__name__}"
+            )
+        kind = op.get("op")
+        try:
+            if kind == "retime":
+                evolution.retime(
+                    op["task"], op["times"], name=op.get("name")
+                )
+            elif kind == "complete":
+                evolution.mark_completed(op["task"], op["start"])
+            elif kind == "add_task":
+                evolution.add_task(
+                    op["times"],
+                    predecessors=op.get("predecessors", ()),
+                    successors=op.get("successors", ()),
+                    name=op.get("name"),
+                )
+            elif kind == "remove_task":
+                evolution.remove_task(op["task"])
+            elif kind == "add_edge":
+                evolution.add_edge(op["source"], op["target"])
+            elif kind == "remove_edge":
+                evolution.remove_edge(op["source"], op["target"])
+            else:
+                raise ValueError(
+                    f"unknown op {kind!r} (known: retime, complete, "
+                    "add_task, remove_task, add_edge, remove_edge)"
+                )
+        except KeyError as exc:
+            raise ValueError(
+                f"operation {k} ({kind!r}): missing field {exc}"
+            ) from None
+    return evolution
+
+
+def evolve(
+    instance: Instance,
+    operations: Sequence[Mapping[str, Any]],
+    *,
+    name: Optional[str] = None,
+) -> Tuple[Instance, InstanceDelta]:
+    """One-shot evolution from a JSON operation list.
+
+    ``evolve(inst, ops)`` is
+    ``apply_operations(inst.evolve(), ops).commit()`` — the form the
+    service endpoints and the CLI use.
+    """
+    return apply_operations(instance.evolve(), operations).commit(
+        name=name
+    )

@@ -130,6 +130,20 @@ class Instance:
             self._content_key = instance_content_key(self)
         return self._content_key
 
+    def evolve(self) -> "InstanceEvolution":
+        """Open a mutation recorder against this instance.
+
+        Record retimes, completions, task/edge additions and removals
+        on the returned builder, then ``commit()`` to obtain a **new**
+        instance plus an :class:`~repro.core.evolve.InstanceDelta`; this
+        instance is never modified, and the child's
+        :meth:`content_key` is recomputed from its own content.  See
+        :mod:`repro.core.evolve`.
+        """
+        from .evolve import InstanceEvolution
+
+        return InstanceEvolution(self)
+
     # ------------------------------------------------------------------
     # instance-level quantities used by the analysis
     # ------------------------------------------------------------------

@@ -43,6 +43,7 @@ __all__ = [
     "AllotmentArrays",
     "assemble_allotment_arrays",
     "build_allotment_lp",
+    "patch_allotment_arrays",
     "solve_allotment_lp",
 ]
 
@@ -288,6 +289,43 @@ def assemble_allotment_arrays(instance: Instance) -> AllotmentArrays:
         vals=vals,
         b_ub=b_ub,
     )
+
+
+def patch_allotment_arrays(
+    parent: AllotmentArrays,
+    child_arr: "InstanceArrays",
+    retimed: "Sequence[int]",
+) -> AllotmentArrays:
+    """The child's LP (9) assembly, patched from the parent's.
+
+    For a non-structural evolution (same tasks, same arcs, same per-task
+    segment counts) the constraint matrix's sparsity pattern is
+    unchanged — only the bounds of the retimed ``x_j`` columns, the
+    slopes of their work-segment rows and the matching right-hand sides
+    move.  This patches exactly those entries of the parent's assembly,
+    so an evolved instance never pays the from-scratch bulk build.
+    ``child_arr`` must be the child's packed profile arrays and
+    ``retimed`` the child-space ids whose profile changed.
+    """
+    retimed_arr = np.asarray(sorted(retimed), dtype=np.intp)
+    n = child_arr.n
+    xs = retimed_arr * 3
+    lo = parent.lo.copy()
+    hi = parent.hi.copy()
+    lo[xs] = child_arr.min_time[retimed_arr]
+    hi[xs] = child_arr.max_time[retimed_arr]
+    lo[xs + 2] = child_arr.work_lo[retimed_arr]
+    t_idx = child_arr.seg_task
+    flat = np.flatnonzero(np.isin(t_idx, retimed_arr))
+    vals = parent.vals.copy()
+    # vals layout (see assemble_allotment_arrays): 2n fit entries, 2n
+    # span entries, then the (slope, -1) pair of each flat segment —
+    # flat segment p's slope sits at 4n + 2p.
+    vals[4 * n + 2 * flat] = child_arr.seg_slope[flat]
+    b_ub = parent.b_ub.copy()
+    seg_rows = flat + 2 * t_idx[flat] + 2
+    b_ub[seg_rows] = -child_arr.seg_intercept[flat]
+    return parent._replace(lo=lo, hi=hi, vals=vals, b_ub=b_ub)
 
 
 def _result_from_values(

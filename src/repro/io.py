@@ -139,10 +139,22 @@ def instance_from_dict(data: Dict[str, Any]) -> Instance:
     return instance
 
 
-#: Symmetric counterpart name to :func:`instance_to_dict` (the service
-#: broker deserializes request payloads through it); identical to
-#: :func:`instance_from_dict`.
-dict_to_instance = instance_from_dict
+def dict_to_instance(data: Dict[str, Any]) -> Instance:
+    """Deprecated alias for :func:`instance_from_dict`.
+
+    .. deprecated:: 1.3
+       The name broke the module's ``X_to_dict``/``X_from_dict``
+       naming symmetry; it will be removed in 2.0.
+    """
+    import warnings
+
+    warnings.warn(
+        "repro.io.dict_to_instance is deprecated; "
+        "use repro.io.instance_from_dict instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return instance_from_dict(data)
 
 
 def schedule_to_dict(schedule: Schedule) -> Dict[str, Any]:

@@ -39,6 +39,7 @@ from .registry import (
     strategy_names,
 )
 from .runner import SchedulingPipeline, solve
+from .incremental import DeltaReport, ReplanSession, resolve_delta
 from . import strategies as _builtin_strategies  # noqa: F401  (registers)
 from .adapters import (
     report_from_bsearch,
@@ -49,7 +50,9 @@ from .adapters import (
 __all__ = [
     "AllotmentResult",
     "AllotmentStrategy",
+    "DeltaReport",
     "Phase2Scheduler",
+    "ReplanSession",
     "SchedulingPipeline",
     "SolveReport",
     "StrategyInfo",
@@ -63,6 +66,7 @@ __all__ = [
     "report_from_bsearch",
     "report_from_jz",
     "report_from_ltw",
+    "resolve_delta",
     "solve",
     "strategy_names",
 ]

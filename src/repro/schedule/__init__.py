@@ -8,6 +8,7 @@ from .metrics import (
     busy_profile,
     slot_classes,
 )
+from .replan import ScheduleDiff, diff_schedules, replan_schedule
 from .schedule import Schedule, ScheduledTask
 from .simulator import SimulationEvent, SimulationTrace, simulate
 from .timeline import ArrayTimeline, ResourceTimeline
@@ -22,6 +23,7 @@ __all__ = [
     "InfeasibleScheduleError",
     "ResourceTimeline",
     "Schedule",
+    "ScheduleDiff",
     "ScheduledTask",
     "SimulationEvent",
     "SimulationTrace",
@@ -30,8 +32,10 @@ __all__ = [
     "average_utilization",
     "busy_profile",
     "compact_schedule",
+    "diff_schedules",
     "render_gantt",
     "render_gantt_svg",
+    "replan_schedule",
     "simulate",
     "slot_classes",
     "validate_schedule",

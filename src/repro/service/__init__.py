@@ -13,7 +13,10 @@ solver *resident* so repeated traffic gets amortized:
   identical requests into one solve (single-flight), and dispatches
   misses to the batch engine's persistent process pool — so every
   served schedule is bit-identical to a direct
-  :class:`repro.pipeline.SchedulingPipeline` solve;
+  :class:`repro.pipeline.SchedulingPipeline` solve; ``POST /evolve``
+  and ``POST /replan`` expose the evolution API
+  (:mod:`repro.core.evolve`) — replans solve parent and child through
+  the same cache, each keyed by its own fingerprint;
 * :class:`~repro.service.client.ServiceClient` — blocking stdlib
   client (also the load generator's transport);
 * :func:`~repro.service.harness.serve_in_thread` — daemon-on-a-thread

@@ -20,6 +20,13 @@ balancer health check — can talk to it:
   ``{"instance": <repro-instance dict>, "algorithm": "jz",
   "priority": "earliest-start"}`` → the solve payload (schedule dict,
   makespan, certified lower bound, observed ratio, cache/dedup flags);
+* ``POST /evolve`` with body ``{"instance": ..., "operations": [...]}``
+  → the evolved instance dict plus the structured delta (pure
+  transform, nothing solved — see :mod:`repro.core.evolve`);
+* ``POST /replan`` with the same body (plus optional strategy fields
+  and ``"anchored": true``) → the evolved instance solved through the
+  ordinary cache path, with the delta and the disturbance diff against
+  the parent's schedule attached;
 * ``GET /stats`` → request counters + cache counters;
 * ``GET /healthz`` → liveness probe;
 * ``POST /shutdown`` → graceful stop (used by tests and the CLI).
@@ -65,10 +72,17 @@ from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, Dict, Optional, Tuple, Union
 
 from .. import __version__
+from ..core.evolve import InstanceDelta, evolve as evolve_instance
 from ..core.instance import Instance
 from ..engine.batch import POOL_FAILURE_PREFIX, BatchRunner
-from ..io import dict_to_instance
+from ..io import (
+    instance_from_dict,
+    instance_to_dict,
+    schedule_from_dict,
+    schedule_to_dict,
+)
 from ..pipeline import UnknownStrategyError, canonical_strategy_pair
+from ..schedule.replan import diff_schedules, replan_schedule
 from .cache import CacheKey, ResultCache, solve_payload
 
 __all__ = ["DEFAULT_HOST", "DEFAULT_PORT", "SolverService"]
@@ -448,9 +462,25 @@ class SolverService:
                     "request body must be a JSON object"
                 )
             return await self._handle_solve(data)
+        if path in ("/evolve", "/replan"):
+            if method != "POST":
+                return 405, self._error(f"use POST {path}")
+            try:
+                data = json.loads(body.decode())
+            except (UnicodeDecodeError, ValueError):
+                self._n_errors += 1
+                return 400, self._error("request body is not valid JSON")
+            if not isinstance(data, dict):
+                self._n_errors += 1
+                return 400, self._error(
+                    "request body must be a JSON object"
+                )
+            if path == "/evolve":
+                return await self._handle_evolve(data)
+            return await self._handle_replan(data)
         return 404, self._error(
-            f"unknown path {path!r}; known: /solve /stats /healthz "
-            "/shutdown"
+            f"unknown path {path!r}; known: /solve /evolve /replan "
+            "/stats /healthz /shutdown"
         )
 
     @staticmethod
@@ -482,23 +512,40 @@ class SolverService:
             return 400, self._error(
                 f"invalid instance: {type(exc).__name__}: {exc}"
             )
+        try:
+            algorithm, priority = self._request_strategies(data)
+        except (UnknownStrategyError, ValueError) as exc:
+            self._n_errors += 1
+            return 400, self._error(str(exc))
+        return await self._solve_keyed(
+            instance, instance_key, algorithm, priority
+        )
+
+    def _request_strategies(
+        self, data: Dict[str, Any]
+    ) -> Tuple[str, str]:
+        """Canonical (algorithm, priority) of a request body; raises on
+        non-string or unregistered names."""
         algorithm_name = data.get("algorithm") or self.algorithm
         priority_name = data.get("priority") or self.priority
         if not isinstance(algorithm_name, str) or not isinstance(
             priority_name, str
         ):
-            self._n_errors += 1
-            return 400, self._error(
-                "'algorithm' and 'priority' must be strings"
-            )
-        try:
-            algorithm, priority = canonical_strategy_pair(
-                algorithm_name, priority_name
-            )
-        except UnknownStrategyError as exc:
-            self._n_errors += 1
-            return 400, self._error(str(exc))
+            raise ValueError("'algorithm' and 'priority' must be strings")
+        return canonical_strategy_pair(algorithm_name, priority_name)
 
+    async def _solve_keyed(
+        self,
+        instance: Instance,
+        instance_key: str,
+        algorithm: str,
+        priority: str,
+    ) -> Tuple[int, Dict[str, Any]]:
+        """Cache → single-flight → batch engine, for an already-parsed
+        instance under its content key.  The shared tail of ``/solve``
+        and ``/replan`` — a replanned child is keyed by its **own**
+        fingerprint, so deduplication and caching work unchanged."""
+        loop = asyncio.get_running_loop()
         key: CacheKey = (instance_key, algorithm, priority)
         cached = await self._cache_get(key)
         if cached is not None:
@@ -562,8 +609,142 @@ class SolverService:
     @staticmethod
     def _parse_instance(data: Dict[str, Any]) -> Tuple[Instance, str]:
         """Aux-thread body: build the instance and its content key."""
-        instance = dict_to_instance(data)
+        instance = instance_from_dict(data)
         return instance, instance.content_key()
+
+    # ------------------------------------------------------------------
+    # evolution endpoints
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _parse_evolution(
+        data: Dict[str, Any]
+    ) -> Tuple[Instance, Instance, InstanceDelta]:
+        """Aux-thread body: parse the parent and apply the operation
+        list (both hash-heavy for large instances)."""
+        inst_data = data.get("instance")
+        if not isinstance(inst_data, dict):
+            raise ValueError("missing or non-object 'instance' field")
+        operations = data.get("operations")
+        if not isinstance(operations, list):
+            raise ValueError("missing or non-array 'operations' field")
+        parent = instance_from_dict(inst_data)
+        name = data.get("name")
+        if name is not None and not isinstance(name, str):
+            raise ValueError("'name' must be a string")
+        child, delta = evolve_instance(parent, operations, name=name)
+        return parent, child, delta
+
+    async def _handle_evolve(
+        self, data: Dict[str, Any]
+    ) -> Tuple[int, Dict[str, Any]]:
+        """``POST /evolve``: pure transform — apply an operation list
+        to an instance and return the evolved instance plus the
+        structured delta.  Nothing is solved or cached."""
+        loop = asyncio.get_running_loop()
+        try:
+            _parent, child, delta = await loop.run_in_executor(
+                self._aux_threads, self._parse_evolution, data
+            )
+        except Exception as exc:
+            self._n_errors += 1
+            return 400, self._error(
+                f"invalid evolution: {type(exc).__name__}: {exc}"
+            )
+        return 200, {
+            "status": "ok",
+            "instance": instance_to_dict(child),
+            "fingerprint": delta.child_key,
+            "parent_fingerprint": delta.parent_key,
+            "delta": delta.summary(),
+        }
+
+    async def _handle_replan(
+        self, data: Dict[str, Any]
+    ) -> Tuple[int, Dict[str, Any]]:
+        """``POST /replan``: evolve, re-solve, report the disturbance.
+
+        The parent and the evolved child are both solved through the
+        ordinary cache/single-flight path, each keyed by its own
+        fingerprint — in the intended traffic pattern the parent is a
+        cache hit from its original ``/solve``.  With ``"anchored":
+        true`` the response carries the disturbance-minimizing anchored
+        schedule (completed tasks frozen, survivors near their old
+        slots) instead of the free re-solve's; makespan and the voided
+        ratio bound are adjusted accordingly.
+        """
+        loop = asyncio.get_running_loop()
+        try:
+            parent, child, delta = await loop.run_in_executor(
+                self._aux_threads, self._parse_evolution, data
+            )
+        except Exception as exc:
+            self._n_errors += 1
+            return 400, self._error(
+                f"invalid evolution: {type(exc).__name__}: {exc}"
+            )
+        anchored = bool(data.get("anchored", False))
+        try:
+            algorithm, priority = self._request_strategies(data)
+        except (UnknownStrategyError, ValueError) as exc:
+            self._n_errors += 1
+            return 400, self._error(str(exc))
+        status, parent_payload = await self._solve_keyed(
+            parent, delta.parent_key, algorithm, priority
+        )
+        if status != 200:
+            return status, parent_payload
+        status, child_payload = await self._solve_keyed(
+            child, delta.child_key, algorithm, priority
+        )
+        if status != 200:
+            return status, child_payload
+
+        def finalize() -> Dict[str, Any]:
+            old_schedule = schedule_from_dict(parent_payload["schedule"])
+            new_schedule = schedule_from_dict(child_payload["schedule"])
+            payload = dict(child_payload)
+            mode = "resolve"
+            if anchored:
+                # The capped allotment is recoverable from the solved
+                # schedule's per-task processor counts; re-capping is
+                # idempotent, so mu is not needed again.
+                alloc = [0] * child.n_tasks
+                for e in new_schedule.entries:
+                    alloc[e.task] = e.processors
+                new_schedule = replan_schedule(
+                    child,
+                    alloc,
+                    old_schedule,
+                    node_map=delta.node_map,
+                    completed=delta.completed,
+                )
+                payload["schedule"] = schedule_to_dict(new_schedule)
+                payload["makespan"] = new_schedule.makespan
+                # Stability costs the worst-case guarantee.
+                payload["ratio_bound"] = None
+                payload["observed_ratio"] = (
+                    new_schedule.makespan / payload["lower_bound"]
+                    if payload.get("lower_bound")
+                    else None
+                )
+                mode = "anchored"
+            diff = diff_schedules(
+                old_schedule, new_schedule, node_map=delta.node_map
+            )
+            payload["mode"] = mode
+            payload["delta"] = delta.summary()
+            payload["disturbance"] = diff.summary()
+            payload["parent"] = {
+                "instance_key": delta.parent_key,
+                "makespan": parent_payload["makespan"],
+                "cached": parent_payload.get("cached", False),
+            }
+            return payload
+
+        # Schedule reconstruction + diff (+ anchored list scheduling)
+        # is O(n log n) Python work: keep it off the loop.
+        payload = await loop.run_in_executor(self._aux_threads, finalize)
+        return 200, payload
 
     async def _cache_get(self, key: CacheKey):
         """Cache lookup; routed through the aux thread pool when a

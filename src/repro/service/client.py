@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import http.client
 import json
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, List, Optional, Union
 
 from ..core.instance import Instance
 from ..io import instance_to_dict
@@ -79,6 +79,63 @@ class ServiceClient:
         if priority is not None:
             body["priority"] = priority
         return self._request("POST", "/solve", body)
+
+    def evolve(
+        self,
+        instance: Union[Instance, Dict[str, Any]],
+        operations: List[Dict[str, Any]],
+        name: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Apply an operation list to ``instance`` on the daemon
+        (``POST /evolve``); returns the evolved instance dict, its
+        fingerprint and the structured delta.  Nothing is solved.  See
+        :func:`repro.core.evolve.apply_operations` for the operation
+        format."""
+        body: Dict[str, Any] = {
+            "instance": (
+                instance_to_dict(instance)
+                if isinstance(instance, Instance)
+                else instance
+            ),
+            "operations": list(operations),
+        }
+        if name is not None:
+            body["name"] = name
+        return self._request("POST", "/evolve", body)
+
+    def replan(
+        self,
+        instance: Union[Instance, Dict[str, Any]],
+        operations: List[Dict[str, Any]],
+        algorithm: Optional[str] = None,
+        priority: Optional[str] = None,
+        anchored: bool = False,
+    ) -> Dict[str, Any]:
+        """Evolve ``instance`` and re-solve it (``POST /replan``).
+
+        Returns the child's solve payload extended with ``delta``
+        (the evolution diff), ``disturbance`` (moved/resized/added/
+        removed tasks vs the parent's schedule) and ``parent`` (the
+        parent solve's key numbers).  With ``anchored=True`` the
+        returned schedule is the disturbance-minimizing anchored one
+        (completed tasks frozen at their recorded starts) instead of
+        the free re-solve's.
+        """
+        body: Dict[str, Any] = {
+            "instance": (
+                instance_to_dict(instance)
+                if isinstance(instance, Instance)
+                else instance
+            ),
+            "operations": list(operations),
+        }
+        if algorithm is not None:
+            body["algorithm"] = algorithm
+        if priority is not None:
+            body["priority"] = priority
+        if anchored:
+            body["anchored"] = True
+        return self._request("POST", "/replan", body)
 
     def stats(self) -> Dict[str, Any]:
         """The daemon's counter snapshot (``GET /stats``)."""

@@ -96,7 +96,13 @@ class TestIoRoundTrip:
         assert data["fingerprint"] == inst.content_key()
         back = instance_from_dict(data)
         assert back.content_key() == inst.content_key()
-        assert dict_to_instance is instance_from_dict
+
+    def test_dict_to_instance_deprecated(self):
+        inst = _inst()
+        data = instance_to_dict(inst)
+        with pytest.warns(DeprecationWarning, match="instance_from_dict"):
+            back = dict_to_instance(data)
+        assert back.content_key() == inst.content_key()
 
     def test_file_round_trip(self, tmp_path):
         inst = _inst(seed=2)
