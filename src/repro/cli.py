@@ -260,6 +260,15 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     b.add_argument(
+        "--batch-kernel", choices=["auto", "on", "off"], default="auto",
+        help=(
+            "cross-instance batched kernel tier: 'auto' batches "
+            "eligible small pre-built instances in one block-diagonal "
+            "pass, 'on' forces it for every eligible instance, 'off' "
+            "pins the per-instance path (default: auto)"
+        ),
+    )
+    b.add_argument(
         "-o", "--output", help="write JSON-lines records here"
     )
     b.add_argument(
@@ -304,6 +313,14 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "spill evicted cache entries to this directory as JSON "
             "(default: no disk tier)"
+        ),
+    )
+    sv.add_argument(
+        "--batch-kernel", choices=["auto", "on", "off"], default="auto",
+        help=(
+            "batched kernel tier routing forwarded to the solve "
+            "engine; per-request tier counts appear in GET /stats "
+            "(default: auto)"
         ),
     )
     _add_strategy_options(sv)
@@ -656,6 +673,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         algorithm=args.algorithm,
         priority=args.priority,
         chunksize=args.chunksize,
+        batch_kernel=args.batch_kernel,
     )
     try:
         result = runner.run(instances)
@@ -669,11 +687,19 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         for rec in result.records:
             print(json.dumps(rec.to_dict()))
     s = result.summary()
+    tiers = s["kernel_tiers"]
+    tier_note = (
+        " [" + ", ".join(
+            f"{t}:{tiers[t]}" for t in sorted(tiers)
+        ) + "]"
+        if tiers
+        else ""
+    )
     print(
         f"batch[{args.algorithm}×{args.priority}]: "
         f"{s['ok']}/{s['instances']} ok, {s['errors']} errors, "
         f"workers={s['workers']}, {s['wall_time']:.2f}s "
-        f"({s['throughput']:.2f} inst/s)",
+        f"({s['throughput']:.2f} inst/s)" + tier_note,
         file=sys.stderr,
     )
     for rec in result.errors():
@@ -863,6 +889,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             spill_dir=args.spill_dir,
             algorithm=args.algorithm,
             priority=args.priority,
+            batch_kernel=args.batch_kernel,
         )
     except (UnknownStrategyError, ValueError) as exc:
         print(f"serve: {exc}", file=sys.stderr)

@@ -61,6 +61,7 @@ from ..schedule.timeline import ArrayTimeline
 from .instance import Instance
 
 __all__ = [
+    "dispatch_tier",
     "list_schedule",
     "list_schedule_loop",
     "list_schedule_reference",
@@ -71,6 +72,31 @@ __all__ = [
 #: replaces the incumbent only when it is better by more than this, so the
 #: lowest-index task wins among numerically tied starts.
 _SELECT_TOL = 1e-12
+
+#: Below this task count :func:`list_schedule` goes straight to the
+#: per-task loop without building CSR arrays, level structure, packed
+#: profiles or any vector state — for tiny instances the constant-time
+#: setup of the array path costs more than the whole solve.
+_TINY_N = 64
+
+
+def dispatch_tier(instance: Instance) -> str:
+    """Which kernel tier :func:`list_schedule` would run on ``instance``.
+
+    ``"loop"`` — the per-task Python loop (tiny or narrow instances);
+    ``"array"`` — the vectorized frontier over CSR arrays.  The batch
+    engine records this per instance (a ``"batched"`` tier exists as
+    well, chosen by :func:`repro.batchkernel.solve_batch` callers — see
+    :mod:`repro.engine.batch`).  Tiny instances never touch the CSR, so
+    this predicate must not either.
+    """
+    n = instance.n_tasks
+    if n < 256:
+        return "loop"
+    csr = instance.dag.to_csr()
+    if n < 96 * csr.depths().n_levels:
+        return "loop"
+    return "array"
 
 
 def capped_allotment(allotment: Sequence[int], mu: int) -> List[int]:
@@ -124,6 +150,10 @@ def list_schedule(
         the module docstring.
     """
     n = instance.n_tasks
+    # Tiny instances: straight to the loop path before any CSR or
+    # array state exists — see _TINY_N.
+    if n < _TINY_N:
+        return list_schedule_loop(instance, allotment, mu=mu)
     csr = instance.dag.to_csr()
     # Narrow-frontier dispatch: on deep, thin DAGs (chains, skinny
     # layers) the ready set holds a handful of tasks and the per-task

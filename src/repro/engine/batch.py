@@ -104,6 +104,8 @@ POOL_FAILURE_PREFIX = "worker/pool failure"
 #:     ``priority``.  The optional ``schedule`` column (present only
 #:     when the runner was asked for it) is an additive version-2
 #:     change: readers ignore unknown fields on a known version.
+#:     ``kernel_tier`` (``"batched"`` | ``"array"`` | ``"loop"``,
+#:     present on successful records) is likewise additive version-2.
 SCHEMA_VERSION = 2
 
 
@@ -132,6 +134,12 @@ class BatchRecord:
     mu: Optional[int] = None
     wall_time: Optional[float] = None
     error: Optional[str] = None
+    #: Which kernel tier solved the instance: ``"batched"`` (the
+    #: cross-instance block-diagonal tier of :mod:`repro.batchkernel`),
+    #: ``"array"`` (vectorized per-instance frontier) or ``"loop"``
+    #: (per-task Python loop).  ``None`` on error records and on lines
+    #: written before the column existed.
+    kernel_tier: Optional[str] = None
     #: Full schedule (``repro.io`` schedule dict), present only when the
     #: runner ran with ``include_schedule=True`` — the service layer
     #: needs the entries, plain batch sweeps only the numbers.
@@ -145,13 +153,15 @@ class BatchRecord:
     def to_dict(self) -> Dict[str, Any]:
         """JSON-compatible dict (one JSONL line), schema-versioned.
 
-        The ``schedule`` column is omitted when absent so records
-        written by schedule-less runs are byte-compatible with earlier
-        version-2 writers.
+        The ``schedule`` and ``kernel_tier`` columns are omitted when
+        absent so records written by schedule-less (or pre-tier) runs
+        are byte-compatible with earlier version-2 writers.
         """
         d = {"schema_version": SCHEMA_VERSION, **asdict(self)}
         if d.get("schedule") is None:
             d.pop("schedule", None)
+        if d.get("kernel_tier") is None:
+            d.pop("kernel_tier", None)
         return d
 
 
@@ -182,6 +192,14 @@ class BatchResult:
         """The failed records."""
         return [r for r in self.records if not r.ok]
 
+    def kernel_tiers(self) -> Dict[str, int]:
+        """How many records each kernel tier solved (ok records only)."""
+        tiers: Dict[str, int] = {}
+        for r in self.records:
+            if r.kernel_tier is not None:
+                tiers[r.kernel_tier] = tiers.get(r.kernel_tier, 0) + 1
+        return tiers
+
     def summary(self) -> Dict[str, Any]:
         """Aggregate numbers for reports and the CLI."""
         return {
@@ -191,7 +209,44 @@ class BatchResult:
             "workers": self.workers,
             "wall_time": self.wall_time,
             "throughput": self.throughput,
+            "kernel_tiers": self.kernel_tiers(),
         }
+
+
+def _ok_record(
+    index: int,
+    instance: Instance,
+    label: Optional[str],
+    rep,
+    wall_time: float,
+    include_schedule: bool,
+    kernel_tier: str,
+) -> Dict[str, Any]:
+    """Success-record dict shared by the per-instance worker body and
+    the in-parent batched tier — one builder, so the two paths can
+    never drift apart column-wise."""
+    rec = {
+        "index": index,
+        "status": "ok",
+        "name": instance.name if instance.name is not None else label,
+        "n_tasks": instance.n_tasks,
+        "m": instance.m,
+        "algorithm": rep.algorithm,
+        "priority": rep.priority,
+        "makespan": rep.makespan,
+        "lower_bound": rep.lower_bound,
+        "ratio_bound": rep.ratio_bound,
+        "observed_ratio": rep.observed_ratio,
+        "rho": rep.rho,
+        "mu": rep.mu,
+        "wall_time": wall_time,
+        "kernel_tier": kernel_tier,
+    }
+    if include_schedule:
+        from ..io import schedule_to_dict
+
+        rec["schedule"] = schedule_to_dict(rep.schedule)
+    return rec
 
 
 def _solve_chunk(payloads) -> List[Dict[str, Any]]:
@@ -235,27 +290,19 @@ def _solve_one(payload) -> Dict[str, Any]:
             algorithm, priority, rho=rho, mu=mu, lp_backend=lp_backend
         )
         rep = pipe.solve(instance)
-        rec = {
-            "index": index,
-            "status": "ok",
-            "name": instance.name if instance.name is not None else label,
-            "n_tasks": instance.n_tasks,
-            "m": instance.m,
-            "algorithm": rep.algorithm,
-            "priority": rep.priority,
-            "makespan": rep.makespan,
-            "lower_bound": rep.lower_bound,
-            "ratio_bound": rep.ratio_bound,
-            "observed_ratio": rep.observed_ratio,
-            "rho": rep.rho,
-            "mu": rep.mu,
-            "wall_time": time.perf_counter() - t0,
-        }
-        if include_schedule:
-            from ..io import schedule_to_dict
+        # Which per-instance tier ran: earliest-start goes through
+        # list_schedule's loop/array dispatch; every other phase-2 rule
+        # is the per-task priority loop of list_schedule_with_priority.
+        if rep.priority == "earliest-start":
+            from ..core.list_scheduler import dispatch_tier
 
-            rec["schedule"] = schedule_to_dict(rep.schedule)
-        return rec
+            tier = dispatch_tier(instance)
+        else:
+            tier = "loop"
+        return _ok_record(
+            index, instance, label, rep,
+            time.perf_counter() - t0, include_schedule, tier,
+        )
     except Exception:
         name = _safe_attr(instance, "name") if instance is not None else None
         return {
@@ -349,6 +396,20 @@ class BatchRunner:
         service broker caches and returns to clients.  Off by default:
         sweep workloads only want the report numbers, and schedules
         inflate JSONL output.
+    batch_kernel:
+        Routing of the cross-instance batched kernel tier
+        (:func:`repro.batchkernel.solve_batch`).  ``"auto"`` (default)
+        solves pre-built instances with at most
+        :data:`repro.batchkernel.AUTO_MAX_TASKS` tasks in one
+        block-diagonal pass when the strategy pair has a bit-exact
+        batched replica and the group holds at least two instances;
+        ``"on"`` forces the batched tier for every eligible pre-built
+        instance regardless of size; ``"off"`` disables it.  Instances
+        the batched tier does not take (paths, oversized, ineligible
+        strategies) run through the per-instance path unchanged, and a
+        batched-tier failure falls the whole group back to that path —
+        records stay bit-identical either way, only
+        ``record.kernel_tier`` and the wall time differ.
     """
 
     workers: Optional[int] = None
@@ -361,6 +422,7 @@ class BatchRunner:
     max_pending: int = field(default=256)
     use_pool: Optional[bool] = None
     include_schedule: bool = False
+    batch_kernel: str = "auto"
 
     def resolved_workers(self) -> int:
         """The effective worker count."""
@@ -414,22 +476,31 @@ class BatchRunner:
         algorithm, priority = canonical_strategy_pair(
             self.algorithm, self.priority
         )
+        if self.batch_kernel not in ("auto", "on", "off"):
+            raise ValueError(
+                "batch_kernel must be 'auto', 'on' or 'off', "
+                f"got {self.batch_kernel!r}"
+            )
 
         instances = list(instances)
         workers = self.resolved_workers()
         t0 = time.perf_counter()
+        batched_raw, batched_idx = self._run_batched(
+            instances, algorithm, priority
+        )
         payloads = [
             (i, inst, algorithm, priority, self.rho, self.mu,
              self.lp_backend, self.include_schedule)
             for i, inst in enumerate(instances)
+            if i not in batched_idx
         ]
         if executor is not None:
-            pooled = len(instances) > 0
+            pooled = len(payloads) > 0
         elif self.use_pool is None:
-            pooled = workers > 1 and len(instances) > 1
+            pooled = workers > 1 and len(payloads) > 1
         else:
             pooled = (
-                self.use_pool and workers >= 1 and len(instances) > 0
+                self.use_pool and workers >= 1 and len(payloads) > 0
             )
         if pooled:
             raw = self._run_pool(
@@ -438,6 +509,7 @@ class BatchRunner:
             raw = [r for chunk in raw for r in chunk]
         else:
             raw = [_solve_one(p) for p in payloads]
+        raw += batched_raw
         records = tuple(
             BatchRecord(**r) for r in sorted(raw, key=lambda r: r["index"])
         )
@@ -446,6 +518,66 @@ class BatchRunner:
             workers=workers,
             wall_time=time.perf_counter() - t0,
         )
+
+    def _run_batched(
+        self, instances: List[BatchItem], algorithm: str, priority: str
+    ):
+        """Solve the batched-tier-eligible subset in one in-parent
+        block-diagonal pass.
+
+        Returns ``(raw_records, taken_indices)``.  Only pre-built
+        :class:`Instance` items qualify (paths must load in workers for
+        failure isolation); under ``"auto"`` the group is additionally
+        capped at :data:`repro.batchkernel.AUTO_MAX_TASKS` tasks per
+        instance and must hold at least two instances.  Any failure of
+        the batched pass falls the *whole* group back to the
+        per-instance path — partial batched results are never mixed
+        with per-instance retries of the same group.
+        """
+        none = ([], frozenset())
+        if self.batch_kernel == "off":
+            return none
+        from ..batchkernel import (
+            AUTO_MAX_TASKS,
+            eligible_strategy,
+            solve_batch,
+        )
+
+        if not eligible_strategy(algorithm, priority, self.lp_backend):
+            return none
+        group = [
+            i for i, inst in enumerate(instances)
+            if isinstance(inst, Instance) and (
+                self.batch_kernel == "on"
+                or inst.n_tasks <= AUTO_MAX_TASKS
+            )
+        ]
+        if not group or (self.batch_kernel == "auto" and len(group) < 2):
+            return none
+        t0 = time.perf_counter()
+        # Exception (not BaseException): KeyboardInterrupt/SystemExit
+        # must propagate, everything else means "use the per-instance
+        # path" — which re-raises per instance and isolates properly.
+        try:
+            reports = solve_batch(
+                [instances[i] for i in group],
+                algorithm,
+                priority,
+                rho=self.rho,
+                mu=self.mu,
+                lp_backend=self.lp_backend,
+            )
+        except Exception:
+            return none
+        per = (time.perf_counter() - t0) / len(group)
+        raw = [
+            _ok_record(
+                i, instances[i], None, rep, per,
+                self.include_schedule, "batched",
+            )
+            for i, rep in zip(group, reports)
+        ]
+        return raw, frozenset(group)
 
     def _run_pool(
         self,
@@ -514,6 +646,7 @@ def solve_many(
     mu: Optional[int] = None,
     lp_backend: str = "auto",
     chunksize: Optional[int] = None,
+    batch_kernel: str = "auto",
 ) -> BatchResult:
     """Solve a batch of instances (or instance-file paths) with any
     registered strategy pair.
@@ -521,7 +654,7 @@ def solve_many(
     Thin convenience wrapper over :class:`BatchRunner`; see its docs.
     Records are bit-identical to solving each instance sequentially
     through :class:`repro.pipeline.SchedulingPipeline`, for any
-    ``workers`` and ``chunksize`` value.
+    ``workers``, ``chunksize`` and ``batch_kernel`` value.
     """
     return BatchRunner(
         workers=workers,
@@ -531,6 +664,7 @@ def solve_many(
         mu=mu,
         lp_backend=lp_backend,
         chunksize=chunksize,
+        batch_kernel=batch_kernel,
     ).run(instances)
 
 

@@ -22,7 +22,12 @@ except ImportError as _exc:  # pragma: no cover
 
 from .model import LinearProgram, LpError, LpSolution, LpStatus
 
-__all__ = ["build_ub_matrix", "solve_with_scipy", "solve_ub_arrays"]
+__all__ = [
+    "build_ub_matrix",
+    "solve_with_scipy",
+    "solve_ub_arrays",
+    "solve_ub_blocks",
+]
 
 
 def _solution_from_linprog(res) -> LpSolution:
@@ -74,6 +79,19 @@ def solve_ub_arrays(arrays, A_ub=None) -> LpSolution:
         method="highs",
     )
     return _solution_from_linprog(res)
+
+
+def solve_ub_blocks(blocks) -> List[LpSolution]:
+    """Solve a sequence of independent pre-assembled LPs.
+
+    The blocks of a block-diagonal problem (see
+    :func:`repro.batchkernel.lp.assemble_batch_lp`) share no variables
+    or rows, so the joint optimum is exactly the per-block optima;
+    solving them back to back through the same HiGHS seam keeps each
+    block's result bit-identical to a standalone
+    :func:`solve_ub_arrays` call.
+    """
+    return [solve_ub_arrays(arrays) for arrays in blocks]
 
 
 def solve_with_scipy(lp: LinearProgram) -> LpSolution:

@@ -155,12 +155,18 @@ class ArrayTimeline:
 
     __slots__ = ("_m", "_times", "_usage", "_size")
 
-    def __init__(self, m: int):
+    def __init__(self, m: int, capacity: int = 64):
         if m < 1:
             raise ValueError(f"m must be >= 1, got {m}")
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
         self._m = int(m)
-        self._times = np.zeros(64, dtype=float)
-        self._usage = np.zeros(64, dtype=np.int64)
+        # Breakpoint storage grows by doubling; callers that know their
+        # schedules stay small (the batch engine's tiny-instance
+        # groups) pass a smaller initial capacity to skip the default
+        # 64-slot allocation.
+        self._times = np.zeros(capacity, dtype=float)
+        self._usage = np.zeros(capacity, dtype=np.int64)
         self._size = 1  # breakpoint t=0 with zero usage
 
     @property

@@ -157,6 +157,14 @@ class SolverService:
         Default strategy pair for requests that do not name one.
     lp_backend:
         LP backend forwarded to the pipeline.
+    batch_kernel:
+        ``"auto"`` | ``"on"`` | ``"off"`` — forwarded to
+        :class:`repro.engine.BatchRunner` (see its docs).  The broker
+        solves one instance per request, so ``"auto"`` stays on the
+        per-instance tiers; ``"on"`` forces the batched tier for
+        eligible requests (useful to exercise it through the service),
+        ``"off"`` pins the per-instance path.  Per-request tier counts
+        are served under ``kernel_tiers`` in ``GET /stats``.
     """
 
     def __init__(
@@ -169,6 +177,7 @@ class SolverService:
         algorithm: str = "jz",
         priority: str = "earliest-start",
         lp_backend: str = "auto",
+        batch_kernel: str = "auto",
     ):
         if workers is None:
             workers = os.cpu_count() or 1
@@ -176,10 +185,16 @@ class SolverService:
             raise ValueError(f"workers must be >= 0, got {workers}")
         # Fail fast on a misconfigured default strategy pair.
         canonical_strategy_pair(algorithm, priority)
+        if batch_kernel not in ("auto", "on", "off"):
+            raise ValueError(
+                "batch_kernel must be 'auto', 'on' or 'off', "
+                f"got {batch_kernel!r}"
+            )
         self.workers = workers
         self.algorithm = algorithm
         self.priority = priority
         self.lp_backend = lp_backend
+        self.batch_kernel = batch_kernel
         self.cache = (
             cache
             if cache is not None
@@ -203,6 +218,10 @@ class SolverService:
         self._n_solved = 0
         self._n_deduped = 0
         self._n_errors = 0
+        # Kernel-tier counters are mutated from solve threads, not the
+        # loop — they get their own lock.
+        self._tier_counts: Dict[str, int] = {}
+        self._tier_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -796,10 +815,16 @@ class SolverService:
                 priority=priority,
                 lp_backend=self.lp_backend,
                 include_schedule=True,
+                batch_kernel=self.batch_kernel,
             )
             result = runner.run([instance], executor=pool)
             rec = result.records[0]
             if rec.ok:
+                if rec.kernel_tier is not None:
+                    with self._tier_lock:
+                        self._tier_counts[rec.kernel_tier] = (
+                            self._tier_counts.get(rec.kernel_tier, 0) + 1
+                        )
                 break
             if pool is None or POOL_FAILURE_PREFIX not in (
                 rec.error or ""
@@ -828,6 +853,8 @@ class SolverService:
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, Any]:
         """Daemon counters + cache counters (the ``/stats`` payload)."""
+        with self._tier_lock:
+            tiers = dict(self._tier_counts)
         return {
             "status": "ok",
             "version": __version__,
@@ -836,10 +863,12 @@ class SolverService:
             "pool_restarts": self._pool_restarts,
             "default_algorithm": self.algorithm,
             "default_priority": self.priority,
+            "batch_kernel": self.batch_kernel,
             "requests": self._n_requests,
             "solved": self._n_solved,
             "deduped": self._n_deduped,
             "errors": self._n_errors,
+            "kernel_tiers": tiers,
             "inflight": len(self._inflight),
             "cache": self.cache.stats(),
         }

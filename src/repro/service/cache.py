@@ -78,6 +78,7 @@ def solve_payload(instance_key: str, record) -> Dict[str, Any]:
         "mu": record.mu,
         "schedule": record.schedule,
         "solve_wall_time": record.wall_time,
+        "kernel_tier": getattr(record, "kernel_tier", None),
     }
 
 
