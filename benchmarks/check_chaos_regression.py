@@ -1,0 +1,76 @@
+"""CI gate: fail when the resilience layer lets a wrong answer through.
+
+Checks a ``bench_chaos.py`` output (the committed ``BENCH_chaos.json``
+or a fresh smoke run):
+
+1. **Zero wrong schedules, zero untyped failures** at *every* fault
+   rate — the fail-correct-or-loud contract.  A single wrong 200 is a
+   correctness bug, not a performance regression.
+2. **Goodput floors** — 1.0 with no faults armed; ``--goodput-floor``
+   (default 0.99) at the 5% rate.  The 20% rate is reported but not
+   floored.
+3. **Faults actually fired** at every non-zero rate — a disarmed seam
+   passing the contract vacuously is itself a failure.
+
+Usage:  python benchmarks/check_chaos_regression.py MEASURED.json
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("measured", help="bench_chaos output JSON")
+    ap.add_argument("--goodput-floor", type=float, default=0.99,
+                    help="required goodput at the 5% fault rate")
+    args = ap.parse_args(argv)
+
+    data = json.loads(Path(args.measured).read_text())
+    cells = data.get("cells", [])
+    failures = []
+    if not cells:
+        failures.append(f"no cells in {args.measured}")
+    for cell in cells:
+        rate = cell["rate"]
+        rep = cell["report"]
+        tag = f"rate {rate:.0%}"
+        fired = sum(rep.get("faults_fired", {}).values())
+        wrong = rep.get("wrong", 1)
+        untyped = rep.get("untyped_failures", 1)
+        goodput = rep.get("goodput", 0.0)
+        if wrong != 0:
+            failures.append(f"{tag}: {wrong} wrong schedule(s)")
+        if untyped != 0:
+            failures.append(f"{tag}: {untyped} untyped failure(s)")
+        if not rep.get("fail_correct_or_loud", False):
+            failures.append(f"{tag}: fail_correct_or_loud is false")
+        if rate == 0.0 and goodput < 1.0:
+            failures.append(f"{tag}: goodput {goodput:.3f} < 1.0")
+        if rate == 0.05 and goodput < args.goodput_floor:
+            failures.append(
+                f"{tag}: goodput {goodput:.3f} < {args.goodput_floor}"
+            )
+        if rate > 0.0 and fired == 0:
+            failures.append(f"{tag}: zero faults fired (disarmed seam)")
+        status = "ok" if not any(f.startswith(tag) for f in failures) \
+            else "FAILED"
+        print(
+            f"{tag:>9}: goodput {goodput:.3f}  availability "
+            f"{rep.get('availability', 0.0):.3f}  wrong {wrong}  "
+            f"untyped {untyped}  faults fired {fired}  {status}"
+        )
+
+    if failures:
+        print("chaos regression gate FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("chaos regression gate passed: fail-correct-or-loud holds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

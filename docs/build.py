@@ -47,6 +47,7 @@ NAV: Tuple[Tuple[str, str], ...] = (
     ("architecture.md", "Architecture"),
     ("campaigns.md", "Experiment campaigns"),
     ("service.md", "Solver service & HTTP API"),
+    ("resilience.md", "Resilience & chaos testing"),
     ("evolve.md", "Evolution & replanning"),
     ("performance.md", "Performance"),
     ("reference/strategies.md", "Reference: strategies"),

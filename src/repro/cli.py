@@ -89,6 +89,21 @@ operation objects (see docs/evolve.md):
   {"op": "remove_edge", "source": U, "target": V}
 """
 
+_CHAOS_EPILOG = """\
+examples:
+  %(prog)s --rate 0.05 --seed 7               # self-contained session
+  %(prog)s --rate 0.2 --requests 200 --json chaos.json
+  %(prog)s --plan plan.json                   # replay an exact plan
+  %(prog)s --plan plan.json --attach 127.0.0.1:8705
+                                    # drive a live daemon started with
+                                    #   repro-sched serve --fault-plan plan.json
+
+the session proves fail-correct-or-fail-loud: every 200 is
+bit-identical to a direct pipeline solve of the same instance, every
+failure is a typed error.  exit code 0 iff that holds (wrong == 0 and
+untyped == 0).  see docs/resilience.md.
+"""
+
 _CAMPAIGN_EPILOG = """\
 examples:
   %(prog)s run experiments/specs/smoke.toml
@@ -323,7 +338,78 @@ def build_parser() -> argparse.ArgumentParser:
             "(default: auto)"
         ),
     )
+    sv.add_argument(
+        "--max-queue-depth", type=int, default=256, metavar="N",
+        help=(
+            "admission control: concurrent solve leaders before new "
+            "misses get 503 + Retry-After (default: 256; 0 = "
+            "unbounded)"
+        ),
+    )
+    sv.add_argument(
+        "--fault-plan", default=None, metavar="FILE",
+        help=(
+            "arm this JSON fault plan's injection seams (chaos "
+            "testing; see `repro-sched chaos` and docs/resilience.md)"
+        ),
+    )
     _add_strategy_options(sv)
+
+    ch = sub.add_parser(
+        "chaos",
+        help="replay a deterministic fault plan against the daemon "
+             "and verify fail-correct-or-fail-loud",
+        epilog=_CHAOS_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    ch.add_argument(
+        "--plan", default=None, metavar="FILE",
+        help="JSON fault plan to replay (default: build one from "
+             "--rate/--seed)",
+    )
+    ch.add_argument(
+        "--rate", type=float, default=0.05,
+        help="per-seam fault rate for the generated plan "
+             "(default: 0.05; ignored with --plan)",
+    )
+    ch.add_argument(
+        "--seed", type=int, default=0,
+        help="plan seed: fixes fault draws, workload and retry jitter "
+             "(default: 0; ignored with --plan)",
+    )
+    ch.add_argument(
+        "--requests", type=int, default=60, metavar="N",
+        help="requests to drive (default: 60)",
+    )
+    ch.add_argument(
+        "--instances", type=int, default=6, metavar="K",
+        help="distinct instances cycled through (default: 6)",
+    )
+    ch.add_argument("--size", type=int, default=16,
+                    help="tasks per instance (default: 16)")
+    ch.add_argument("-m", "--processors", type=int, default=4,
+                    help="machine count (default: 4)")
+    ch.add_argument(
+        "--deadline-ms", type=float, default=30_000.0, metavar="MS",
+        help="per-request deadline budget (default: 30000; 0 = none)",
+    )
+    ch.add_argument(
+        "-w", "--workers", type=_workers_arg, default=0,
+        help="daemon worker processes for the self-contained session "
+             "(default: 0 = in-process)",
+    )
+    ch.add_argument(
+        "--attach", default=None, metavar="HOST:PORT",
+        help=(
+            "drive an already-running daemon instead of booting one "
+            "(it must have the same plan armed via serve --fault-plan)"
+        ),
+    )
+    ch.add_argument(
+        "--json", default=None, metavar="FILE", dest="json_out",
+        help="write the full chaos report as JSON here ('-' = stdout)",
+    )
+    _add_strategy_options(ch)
 
     c = sub.add_parser(
         "campaign",
@@ -878,10 +964,19 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
+    import signal
 
     from .pipeline import UnknownStrategyError
+    from .resilience import FaultPlan
     from .service import SolverService
 
+    faults = None
+    if args.fault_plan is not None:
+        try:
+            faults = FaultPlan.load(args.fault_plan)
+        except (OSError, ValueError) as exc:
+            print(f"serve: cannot load fault plan: {exc}", file=sys.stderr)
+            return 2
     try:
         service = SolverService(
             workers=args.workers,
@@ -890,6 +985,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             algorithm=args.algorithm,
             priority=args.priority,
             batch_kernel=args.batch_kernel,
+            max_queue_depth=(
+                None if args.max_queue_depth == 0 else args.max_queue_depth
+            ),
+            faults=faults,
         )
     except (UnknownStrategyError, ValueError) as exc:
         print(f"serve: {exc}", file=sys.stderr)
@@ -902,14 +1001,45 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(f"serve: cannot bind {args.host}:{args.port}: {exc}",
                   file=sys.stderr)
             raise SystemExit(2) from None
+
+        # Graceful drain on SIGTERM/SIGINT: stop accepting, finish
+        # in-flight solves, deliver their responses, then exit 0 — a
+        # supervisor's `kill` (or ctrl-C) must never cost a client an
+        # already-accepted request.
+        loop = asyncio.get_running_loop()
+        handled = []
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            def _stop(sig=sig) -> None:
+                print(
+                    f"serve: {signal.Signals(sig).name} received, "
+                    "draining connections and shutting down",
+                    file=sys.stderr,
+                )
+                service.request_stop()
+            try:
+                loop.add_signal_handler(sig, _stop)
+                handled.append(sig)
+            except (NotImplementedError, RuntimeError):
+                pass  # non-main thread or exotic platform: fall back
+                      # to the KeyboardInterrupt path below
+
+        armed = (
+            f", faults={len(service.faults.plan.specs)} specs"
+            if service.faults.armed
+            else ""
+        )
         print(
             f"serving on http://{service.host}:{service.port} "
             f"(workers={service.workers}, "
             f"cache={service.cache.capacity}, "
-            f"default={service.algorithm}x{service.priority})",
+            f"default={service.algorithm}x{service.priority}{armed})",
             file=sys.stderr,
         )
-        await service.serve_forever()
+        try:
+            await service.serve_forever()
+        finally:
+            for sig in handled:
+                loop.remove_signal_handler(sig)
 
     try:
         asyncio.run(_run())
@@ -918,6 +1048,94 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         print("serve: interrupted, shutting down", file=sys.stderr)
     return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .pipeline import UnknownStrategyError, canonical_strategy_pair
+    from .resilience import FaultPlan, drive_chaos, run_chaos
+
+    try:
+        algorithm, priority = canonical_strategy_pair(
+            args.algorithm, args.priority
+        )
+    except UnknownStrategyError as exc:
+        print(f"chaos: {exc}", file=sys.stderr)
+        return 2
+    if args.plan is not None:
+        try:
+            plan = FaultPlan.load(args.plan)
+        except (OSError, ValueError) as exc:
+            print(f"chaos: cannot load fault plan: {exc}", file=sys.stderr)
+            return 2
+    else:
+        if not 0.0 <= args.rate <= 1.0:
+            print(f"chaos: --rate must be in [0, 1], got {args.rate}",
+                  file=sys.stderr)
+            return 2
+        plan = FaultPlan.uniform(args.rate, seed=args.seed)
+    deadline_ms = args.deadline_ms if args.deadline_ms > 0 else None
+    common = dict(
+        n_requests=args.requests,
+        n_instances=args.instances,
+        size=args.size,
+        m=args.processors,
+        algorithm=algorithm,
+        priority=priority,
+        deadline_ms=deadline_ms,
+    )
+    if args.attach is not None:
+        host, _, port = args.attach.rpartition(":")
+        if not host or not port.isdigit():
+            print(f"chaos: --attach wants HOST:PORT, got {args.attach!r}",
+                  file=sys.stderr)
+            return 2
+        report = drive_chaos(host, int(port), plan, **common)
+        try:
+            # The injection tally lives daemon-side; read it off /stats
+            # so the report shows what actually fired.
+            from .service import ServiceClient
+
+            with ServiceClient(host=host, port=int(port)) as stats_client:
+                report.faults_fired = dict(
+                    stats_client.stats()["resilience"]["faults_fired"]
+                )
+        except Exception:
+            pass  # an unreachable/stopped daemon keeps the local tally
+    else:
+        report = run_chaos(plan, workers=args.workers, **common)
+
+    if args.json_out == "-":
+        json.dump(report.to_dict(), sys.stdout, indent=2)
+        print()
+    else:
+        if args.json_out:
+            Path(args.json_out).write_text(
+                json.dumps(report.to_dict(), indent=2) + "\n"
+            )
+        verdict = (
+            "fail-correct-or-loud HOLDS"
+            if report.fail_correct_or_loud
+            else "fail-correct-or-loud VIOLATED"
+        )
+        fired = sum(report.faults_fired.values())
+        print(
+            f"chaos: {report.n_requests} requests, "
+            f"{report.total_attempts} attempts, {fired} faults fired "
+            f"({len(report.faults_fired)} distinct site:kind)"
+        )
+        print(
+            f"chaos: goodput {report.goodput:.1%}  "
+            f"availability {report.availability:.1%}  "
+            f"wrong {report.wrong}  "
+            f"typed {report.n_typed_errors} {dict(report.typed_errors)}  "
+            f"untyped {report.untyped_failures}"
+        )
+        for detail in report.wrong_details[:5]:
+            print(f"chaos: WRONG: {detail}", file=sys.stderr)
+        print(f"chaos: {verdict}")
+    return 0 if report.fail_correct_or_loud else 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -934,6 +1152,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "evolve": _cmd_evolve,
         "batch": _cmd_batch,
         "serve": _cmd_serve,
+        "chaos": _cmd_chaos,
         "campaign": _cmd_campaign,
     }[args.command]
     return handler(args)

@@ -278,6 +278,7 @@ def _solve_one(payload) -> Dict[str, Any]:
     # Exception (not BaseException): KeyboardInterrupt/SystemExit must
     # propagate so in-process batch runs stay interruptible.
     try:
+        _maybe_inject_solve_fault()
         if label is not None:
             from ..io import load_instance
 
@@ -316,6 +317,26 @@ def _solve_one(payload) -> Dict[str, Any]:
             "wall_time": time.perf_counter() - t0,
             "error": traceback.format_exc(),
         }
+
+
+def _maybe_inject_solve_fault() -> None:
+    """The ``engine.solve`` chaos seam: consult the *ambient* fault
+    clock (:mod:`repro.resilience.injector`) — the worker body has no
+    constructor to thread a clock through.  A no-op (one global read)
+    unless a plan is armed.  ``solve_error`` raises inside the worker's
+    try block and becomes an isolated error record, exactly like a real
+    solver bug; ``slow_solve`` stalls by ``param["delay_s"]``."""
+    from ..resilience.injector import seam
+
+    fault = seam("engine.solve")
+    if fault is None:
+        return
+    if fault.kind == "slow_solve":
+        time.sleep(float(fault.param.get("delay_s", 0.01)))
+    elif fault.kind == "solve_error":
+        from ..resilience import InjectedFault
+
+        raise InjectedFault(fault.kind, fault.site)
 
 
 def _pool_error_record(payload, exc: BaseException) -> Dict[str, Any]:
@@ -537,6 +558,16 @@ class BatchRunner:
         none = ([], frozenset())
         if self.batch_kernel == "off":
             return none
+        from ..resilience.injector import ambient
+
+        if ambient() is not None:
+            # An armed ambient fault clock (chaos testing) routes every
+            # instance through the per-instance path, so the
+            # ``engine.solve`` seam in :func:`_solve_one` sees each one
+            # and injection counters stay deterministic — the batched
+            # pass solves N instances in one call and has no per-
+            # instance seam.
+            return none
         from ..batchkernel import (
             AUTO_MAX_TASKS,
             eligible_strategy,
@@ -719,6 +750,12 @@ def read_jsonl(
     Unknown *fields* on a known version are ignored (a newer minor
     writer may add columns); missing fields fall back to the record
     defaults, except ``index``/``status`` which are mandatory.
+
+    A syntactically broken **final** line is dropped with a
+    :class:`UserWarning` instead of raising: it is the signature of a
+    writer killed mid-append (the daemon crashed, the disk filled), and
+    every complete record before it is still good.  A broken line
+    anywhere *else* is real corruption and raises :class:`ValueError`.
     """
     if on_unknown_version not in ("error", "skip"):
         raise ValueError(
@@ -726,12 +763,23 @@ def read_jsonl(
             f"got {on_unknown_version!r}"
         )
     out: List[BatchRecord] = []
-    for lineno, line in enumerate(
-        Path(path).read_text().splitlines(), start=1
-    ):
+    lines = Path(path).read_text().splitlines()
+    for lineno, line in enumerate(lines, start=1):
         if not line.strip():
             continue
-        data = json.loads(line)
+        try:
+            data = json.loads(line)
+        except ValueError:
+            if lineno == len(lines):
+                warnings.warn(
+                    f"{path}:{lineno}: dropping truncated final record "
+                    "(writer was likely killed mid-append)",
+                    stacklevel=2,
+                )
+                continue
+            raise ValueError(
+                f"{path}:{lineno}: malformed JSON record"
+            ) from None
         if not isinstance(data, dict):
             raise ValueError(
                 f"{path}:{lineno}: expected a JSON object, "

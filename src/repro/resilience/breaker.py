@@ -1,0 +1,169 @@
+"""Circuit breaker for the broker's process-pool tier.
+
+A resident daemon whose pool workers keep dying (a bad native library,
+a cgroup OOM killer, a poisoned workload) must not spend its life
+forking replacement pools — each restart costs seconds and the crashes
+may be systemic.  The breaker watches failure events and, after
+``failure_threshold`` of them inside ``window_s``, **opens**: the
+broker stops using the pool and degrades to in-process solving (slower,
+single-core, but correct — schedules are produced by the same pipeline
+code path either way).  After ``cooldown_s`` the breaker goes
+**half-open** and admits exactly one probe through the pool; a clean
+probe closes the breaker, a failed one re-opens it for another
+cooldown.
+
+States (the classic three):
+
+* ``closed``    — healthy; every :meth:`allow` is True;
+* ``open``      — tripped; :meth:`allow` is False until the cooldown
+  elapses;
+* ``half_open`` — probing; the first :meth:`allow` after the cooldown
+  returns True (the probe), concurrent calls get False until the probe
+  reports back via :meth:`record_success` / :meth:`record_failure`.
+
+All methods are thread-safe (the broker consults the breaker from its
+solve threads) and the clock is injectable for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = ["CircuitBreaker"]
+
+
+class CircuitBreaker:
+    """Three-state breaker over a failure-rate window.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Failures within ``window_s`` that trip the breaker open.
+    window_s:
+        Sliding window the threshold is counted over.
+    cooldown_s:
+        How long an open breaker waits before probing (half-open).
+    clock:
+        Monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        window_s: float = 30.0,
+        cooldown_s: float = 10.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if window_s <= 0 or cooldown_s < 0:
+            raise ValueError("window_s must be > 0 and cooldown_s >= 0")
+        self.failure_threshold = failure_threshold
+        self.window_s = window_s
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._failures: List[float] = []  # event times inside the window
+        self._opened_at: Optional[float] = None
+        self._probing = False
+        self._n_opens = 0
+        self._n_probes = 0
+
+    # ------------------------------------------------------------------
+    # the three verbs the broker uses
+    # ------------------------------------------------------------------
+    def allow(self) -> bool:
+        """May the protected resource (the pool) be used right now?
+
+        In ``half_open`` exactly one caller gets True (the probe);
+        everyone else is denied until the probe's outcome is recorded.
+        """
+        now = self._clock()
+        with self._lock:
+            if self._state == "closed":
+                return True
+            if self._state == "open":
+                assert self._opened_at is not None
+                if now - self._opened_at < self.cooldown_s:
+                    return False
+                self._state = "half_open"
+                self._probing = False
+            # half_open: hand out a single probe slot.
+            if self._probing:
+                return False
+            self._probing = True
+            self._n_probes += 1
+            return True
+
+    def record_failure(self) -> None:
+        """A failure of the protected resource (e.g. a pool restart)."""
+        now = self._clock()
+        with self._lock:
+            if self._state == "half_open":
+                # The probe failed: straight back to open, fresh cooldown.
+                self._trip(now)
+                return
+            self._failures.append(now)
+            cutoff = now - self.window_s
+            self._failures = [t for t in self._failures if t >= cutoff]
+            if (
+                self._state == "closed"
+                and len(self._failures) >= self.failure_threshold
+            ):
+                self._trip(now)
+
+    def record_success(self) -> None:
+        """A clean use of the protected resource; closes a half-open
+        breaker (the probe came back healthy)."""
+        with self._lock:
+            if self._state == "half_open":
+                self._state = "closed"
+                self._probing = False
+                self._failures.clear()
+                self._opened_at = None
+
+    def _trip(self, now: float) -> None:
+        self._state = "open"
+        self._opened_at = now
+        self._probing = False
+        self._failures.clear()
+        self._n_opens += 1
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """``"closed"`` | ``"open"`` | ``"half_open"`` — computed
+        against the clock, so an open breaker whose cooldown elapsed
+        reads ``half_open`` even before the next :meth:`allow`."""
+        with self._lock:
+            if (
+                self._state == "open"
+                and self._opened_at is not None
+                and self._clock() - self._opened_at >= self.cooldown_s
+            ):
+                return "half_open"
+            return self._state
+
+    def stats(self) -> Dict[str, Any]:
+        """JSON-compatible snapshot for the daemon's ``/stats``."""
+        state = self.state
+        with self._lock:
+            return {
+                "state": state,
+                "failure_threshold": self.failure_threshold,
+                "window_s": self.window_s,
+                "cooldown_s": self.cooldown_s,
+                "recent_failures": len(self._failures),
+                "opens": self._n_opens,
+                "probes": self._n_probes,
+            }
+
+    def __repr__(self) -> str:
+        return f"CircuitBreaker(state={self.state!r})"

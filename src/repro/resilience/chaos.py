@@ -1,0 +1,315 @@
+"""Chaos sessions: replay a fault plan against the solver service and
+prove fail-correct-or-fail-loud.
+
+A chaos session drives a deterministic request sequence through a
+daemon whose seams are armed with a :class:`~repro.resilience.FaultPlan`
+and classifies every outcome against pre-computed references:
+
+* ``ok_identical``   — a 200 whose schedule is **bit-identical** to a
+  direct :class:`repro.pipeline.SchedulingPipeline` solve of the same
+  instance *and* validator-clean with ``makespan >= lower_bound``;
+* ``wrong``          — a 200 that is anything else.  This is the
+  catastrophic bucket; the whole point of the resilience layer is that
+  it stays at **zero** under every fault schedule;
+* typed errors       — a clean, coded failure (``deadline_exceeded``,
+  ``overloaded``, ``injected_fault``, ...) after the client exhausted
+  its retries.  Loud, typed, never silent;
+* ``untyped_failures`` — anything else reaching the caller (a raw
+  exception, undecodable garbage).  Also required to be zero: a fault
+  may cost a request, never its diagnosability.
+
+**Goodput** is the fraction of requests that ended ``ok_identical``
+(after client-side retries); **availability** is the fraction that
+ended either correct or typed — i.e. ``1.0`` means no request hung,
+corrupted or failed unaccountably.
+
+Determinism: server-side injection decisions are pure functions of the
+plan seed and per-site invocation counters; the request sequence is
+derived from the plan seed; client retry jitter is seeded.  The same
+:func:`run_chaos` call produces the same fault firings and the same
+outcome classification, run after run.
+
+Used by ``repro chaos`` (CLI), ``tests/test_chaos.py`` (the property
+suite) and ``benchmarks/bench_chaos.py`` (the committed
+``BENCH_chaos.json``).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from .faults import FaultPlan
+from .retry import RetryPolicy
+
+__all__ = ["ChaosReport", "drive_chaos", "run_chaos"]
+
+
+@dataclass
+class ChaosReport:
+    """Outcome tally of one chaos session (JSON-compatible via
+    :meth:`to_dict`; rendered by ``repro chaos``)."""
+
+    n_requests: int
+    ok_identical: int
+    wrong: int
+    typed_errors: Dict[str, int]
+    untyped_failures: int
+    cache_hits: int
+    total_attempts: int
+    wall_time_s: float
+    faults_fired: Dict[str, int]
+    plan: Dict[str, Any]
+    deadline_ms: Optional[float]
+    wrong_details: List[str] = field(default_factory=list)
+
+    @property
+    def n_typed_errors(self) -> int:
+        """Total requests that ended in a clean typed error."""
+        return sum(self.typed_errors.values())
+
+    @property
+    def goodput(self) -> float:
+        """Fraction of requests answered correct-and-identical."""
+        return (
+            self.ok_identical / self.n_requests if self.n_requests else 1.0
+        )
+
+    @property
+    def availability(self) -> float:
+        """Fraction of requests with a clean outcome (correct 200 or
+        typed error) — silent corruption and raw failures subtract."""
+        if not self.n_requests:
+            return 1.0
+        return (self.ok_identical + self.n_typed_errors) / self.n_requests
+
+    @property
+    def fail_correct_or_loud(self) -> bool:
+        """The resilience contract: zero wrong answers, zero untyped
+        failures — every response is right or loudly, typedly wrong."""
+        return self.wrong == 0 and self.untyped_failures == 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "n_requests": self.n_requests,
+            "ok_identical": self.ok_identical,
+            "wrong": self.wrong,
+            "typed_errors": dict(self.typed_errors),
+            "n_typed_errors": self.n_typed_errors,
+            "untyped_failures": self.untyped_failures,
+            "cache_hits": self.cache_hits,
+            "total_attempts": self.total_attempts,
+            "goodput": self.goodput,
+            "availability": self.availability,
+            "fail_correct_or_loud": self.fail_correct_or_loud,
+            "wall_time_s": self.wall_time_s,
+            "faults_fired": dict(self.faults_fired),
+            "deadline_ms": self.deadline_ms,
+            "plan": self.plan,
+            "wrong_details": list(self.wrong_details),
+        }
+
+
+def _make_workload(
+    n_instances: int, size: int, m: int, seed: int
+) -> List[Any]:
+    from ..workloads import make_instance
+
+    return [
+        make_instance("layered", size, m, model="power",
+                      seed=seed * 1000 + i)
+        for i in range(n_instances)
+    ]
+
+
+def _references(
+    instances, algorithm: str, priority: str
+) -> List[Tuple[Dict[str, Any], float, float]]:
+    """Per-instance ground truth: (schedule dict, makespan, bound) from
+    a direct pipeline solve — the bit-identity yardstick."""
+    from ..io import schedule_to_dict
+    from ..pipeline import SchedulingPipeline
+
+    pipe = SchedulingPipeline(algorithm, priority)
+    out = []
+    for inst in instances:
+        rep = pipe.solve(inst)
+        out.append(
+            (schedule_to_dict(rep.schedule), rep.makespan, rep.lower_bound)
+        )
+    return out
+
+
+def drive_chaos(
+    host: str,
+    port: int,
+    plan: FaultPlan,
+    *,
+    n_requests: int = 60,
+    n_instances: int = 6,
+    size: int = 16,
+    m: int = 4,
+    algorithm: str = "jz",
+    priority: str = "earliest-start",
+    deadline_ms: Optional[float] = 30_000.0,
+    retry: Optional[RetryPolicy] = None,
+    faults_fired: Optional[Dict[str, int]] = None,
+) -> ChaosReport:
+    """Drive the chaos workload against an already-running daemon.
+
+    The daemon is expected to have ``plan`` armed (``repro serve
+    --fault-plan``); this function only generates load, retries, and
+    classifies.  ``faults_fired`` overrides the injection tally in the
+    report (the self-contained :func:`run_chaos` reads it off the live
+    clock; in attach mode it comes from the daemon's ``/stats``).
+    """
+    from ..io import schedule_from_dict
+    from ..schedule import validate_schedule
+    from ..service import ServiceClient, ServiceError
+
+    instances = _make_workload(n_instances, size, m, plan.seed)
+    refs = _references(instances, algorithm, priority)
+    seq_rng = random.Random(plan.seed ^ 0x5EED)
+    sequence = [
+        seq_rng.randrange(n_instances) for _ in range(n_requests)
+    ]
+    if retry is None:
+        retry = RetryPolicy(
+            max_attempts=5, base_s=0.02, cap_s=0.5,
+            rng=random.Random(plan.seed ^ 0xBAC0FF),
+        )
+
+    ok_identical = 0
+    wrong = 0
+    typed: Dict[str, int] = {}
+    untyped = 0
+    cache_hits = 0
+    attempts = 0
+    wrong_details: List[str] = []
+    t0 = time.perf_counter()
+    client = ServiceClient(
+        host=host, port=port, retry=retry, deadline_ms=deadline_ms
+    )
+    try:
+        for req_no, inst_idx in enumerate(sequence):
+            inst = instances[inst_idx]
+            ref_schedule, ref_makespan, ref_bound = refs[inst_idx]
+            try:
+                reply = client.solve(
+                    inst, algorithm=algorithm, priority=priority
+                )
+                attempts += client.last_attempts
+            except ServiceError as exc:
+                attempts += client.last_attempts
+                code = exc.code or f"http_{exc.http_status}"
+                typed[code] = typed.get(code, 0) + 1
+                continue
+            except Exception:
+                attempts += max(1, client.last_attempts)
+                untyped += 1
+                continue
+            if reply.get("cached"):
+                cache_hits += 1
+            problems: List[str] = []
+            if reply.get("schedule") != ref_schedule:
+                problems.append("schedule differs from direct solve")
+            if reply.get("makespan") != ref_makespan:
+                problems.append(
+                    f"makespan {reply.get('makespan')} != {ref_makespan}"
+                )
+            try:
+                sched = schedule_from_dict(reply["schedule"])
+                violations = validate_schedule(inst, sched)
+                if violations:
+                    problems.append(f"validator: {violations[:3]}")
+            except Exception as exc:
+                problems.append(f"unparseable schedule: {exc}")
+            if reply.get("makespan", 0) < ref_bound:
+                problems.append("makespan below certified lower bound")
+            if problems:
+                wrong += 1
+                wrong_details.append(
+                    f"request {req_no} (instance {inst_idx}): "
+                    + "; ".join(problems)
+                )
+            else:
+                ok_identical += 1
+    finally:
+        client.close()
+    return ChaosReport(
+        n_requests=n_requests,
+        ok_identical=ok_identical,
+        wrong=wrong,
+        typed_errors=typed,
+        untyped_failures=untyped,
+        cache_hits=cache_hits,
+        total_attempts=attempts,
+        wall_time_s=time.perf_counter() - t0,
+        faults_fired=dict(faults_fired or {}),
+        plan=plan.to_dict(),
+        deadline_ms=deadline_ms,
+        wrong_details=wrong_details,
+    )
+
+
+def run_chaos(
+    plan: FaultPlan,
+    *,
+    n_requests: int = 60,
+    n_instances: int = 6,
+    size: int = 16,
+    m: int = 4,
+    algorithm: str = "jz",
+    priority: str = "earliest-start",
+    deadline_ms: Optional[float] = 30_000.0,
+    retry: Optional[RetryPolicy] = None,
+    workers: int = 0,
+    cache_capacity: int = 2,
+    spill: bool = True,
+    spill_dir: Optional[str] = None,
+) -> ChaosReport:
+    """Self-contained chaos session: boot a faulted daemon on a thread,
+    drive the workload, tear down, report.
+
+    ``cache_capacity`` defaults tiny and ``spill`` on (a temp
+    directory), so the cache's eviction/spill seams actually see
+    traffic — a capacity that swallows the whole workload would leave
+    ``cache.spill_*`` faults unreachable.
+    """
+    import tempfile
+
+    from ..service import serve_in_thread
+
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+        use_spill = (
+            spill_dir if spill_dir is not None
+            else (tmp if spill else None)
+        )
+        with serve_in_thread(
+            workers=workers,
+            faults=plan,
+            cache_capacity=cache_capacity,
+            spill_dir=use_spill,
+            algorithm=algorithm,
+            priority=priority,
+        ) as handle:
+            report = drive_chaos(
+                handle.host,
+                handle.port,
+                plan,
+                n_requests=n_requests,
+                n_instances=n_instances,
+                size=size,
+                m=m,
+                algorithm=algorithm,
+                priority=priority,
+                deadline_ms=deadline_ms,
+                retry=retry,
+                faults_fired=handle.service.faults.fired(),
+            )
+            # The tally above was snapshotted before the last responses
+            # were necessarily written; re-read the final counts.
+            report.faults_fired = handle.service.faults.fired()
+    return report

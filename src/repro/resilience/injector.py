@@ -1,0 +1,94 @@
+"""Ambient (process-global) fault injection for code without a broker.
+
+The service broker and the result cache carry their own
+:class:`~repro.resilience.faults.FaultClock` — they are long-lived
+objects with constructors.  The batch engine's worker body
+(:func:`repro.engine.batch._solve_one`) is a module-level function
+reached from pools, threads and plain calls alike; its seam consults
+the *ambient* clock installed here instead.
+
+Nothing is armed by default: :func:`seam` is a no-op costing one global
+read until :func:`install` (or the :func:`injected` context manager)
+arms a plan.  Tests use the context manager::
+
+    from repro.resilience import FaultPlan, FaultSpec, injected
+
+    plan = FaultPlan(seed=1, specs=[
+        FaultSpec(kind="solve_error", site="engine.solve", at=[1]),
+    ])
+    with injected(plan) as clock:
+        result = BatchRunner(workers=0).run(instances)
+        # instance 1 carries an 'injected: solve_error' error record
+        clock.fired()
+
+Note on process pools: the ambient clock is per-process.  Under the
+fork start method workers inherit the clock armed at fork time, each
+with its *own* counter state from that point — deterministic for a
+fixed worker count and submission order, but the intended use is
+in-process execution (``workers=0``), where determinism is
+unconditional.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import Iterator, Optional, Union
+
+from .faults import FaultClock, FaultPlan, FaultSpec, as_clock
+
+__all__ = ["ambient", "injected", "install", "seam", "uninstall"]
+
+_lock = threading.Lock()
+_ambient: Optional[FaultClock] = None
+
+
+def install(
+    faults: Union[FaultClock, FaultPlan, dict],
+) -> FaultClock:
+    """Arm ``faults`` process-wide; returns the live clock.  Replaces
+    any previously installed clock."""
+    global _ambient
+    clock = as_clock(faults)
+    with _lock:
+        _ambient = clock
+    return clock
+
+
+def uninstall() -> None:
+    """Disarm ambient injection."""
+    global _ambient
+    with _lock:
+        _ambient = None
+
+
+def ambient() -> Optional[FaultClock]:
+    """The installed clock, or ``None`` when injection is disarmed."""
+    return _ambient
+
+
+def seam(site: str) -> Optional[FaultSpec]:
+    """Consult the ambient clock at ``site``; ``None`` when disarmed
+    or nothing fires.  This is the one call production code embeds."""
+    clock = _ambient
+    if clock is None:
+        return None
+    return clock.maybe(site)
+
+
+@contextlib.contextmanager
+def injected(
+    faults: Union[FaultClock, FaultPlan, dict],
+) -> Iterator[FaultClock]:
+    """Context manager: arm for the block, disarm after (restoring any
+    previously armed clock, so nesting composes)."""
+    global _ambient
+    clock = as_clock(faults)
+    with _lock:
+        previous = _ambient
+        _ambient = clock
+    try:
+        yield clock
+    finally:
+        with _lock:
+            _ambient = previous

@@ -27,7 +27,8 @@ balancer health check — can talk to it:
   and ``"anchored": true``) → the evolved instance solved through the
   ordinary cache path, with the delta and the disturbance diff against
   the parent's schedule attached;
-* ``GET /stats`` → request counters + cache counters;
+* ``GET /stats`` → request counters + cache counters + resilience
+  counters (breaker state, shed requests, injected faults);
 * ``GET /healthz`` → liveness probe;
 * ``POST /shutdown`` → graceful stop (used by tests and the CLI).
 
@@ -40,8 +41,31 @@ each miss leader hands the blocking batch call to a small thread pool,
 which in turn drives the process pool (or solves in-process when
 ``workers == 0`` — handy for tests and single-core boxes).  Waiters on
 an in-flight key await the leader's future; results are passed as
-``("ok", payload)`` / ``("error", message)`` tuples so an abandoned
-future never logs an unretrieved exception.
+``("ok", payload)`` / ``("error", (code, message))`` tuples so an
+abandoned future never logs an unretrieved exception and every failure
+carries a machine-readable ``code``.
+
+Resilience (see ``docs/resilience.md`` for the full semantics):
+
+* **Deadlines** — a request may carry an ``X-Deadline-Ms`` header (its
+  remaining time budget).  Work the broker cannot finish in time is
+  *shed* with a typed ``504 deadline_exceeded`` instead of answered
+  late; a shed leader's solve still completes in the background and
+  populates the cache, so a retry is typically a hit.
+* **Admission control** — when the number of in-flight solve leaders
+  reaches ``max_queue_depth``, new misses get ``503 overloaded`` with
+  a ``Retry-After`` hint (an EWMA of recent solve times) instead of
+  queueing without bound.  Cache hits and waiter dedup keep flowing.
+* **Circuit breaker** — repeated worker-crash/pool-restart cycles trip
+  a :class:`repro.resilience.CircuitBreaker`; while it is open the
+  broker degrades to in-process solving (slower, still bit-identical)
+  and periodically re-probes the pool to recover.
+* **Fault seams** — a :class:`repro.resilience.FaultPlan` armed via
+  the ``faults`` parameter (or ``repro serve --fault-plan``) injects
+  deterministic failures at the ``broker.solve`` and
+  ``broker.respond`` seams (the cache carries its own seams).  Every
+  JSON response carries an ``X-Repro-Digest: sha256-...`` integrity
+  header over the body so clients detect corrupt/torn payloads.
 
 Example (in-process daemon on a background thread)::
 
@@ -64,12 +88,13 @@ full endpoint/field reference lives in ``docs/service.md``.
 from __future__ import annotations
 
 import asyncio
+import hashlib
 import json
 import os
 import threading
 import time
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Any, Dict, Optional, Tuple, Union
+from typing import Any, Dict, Optional, Set, Tuple, Union
 
 from .. import __version__
 from ..core.evolve import InstanceDelta, evolve as evolve_instance
@@ -82,6 +107,14 @@ from ..io import (
     schedule_to_dict,
 )
 from ..pipeline import UnknownStrategyError, canonical_strategy_pair
+from ..resilience import (
+    CircuitBreaker,
+    Deadline,
+    FaultClock,
+    FaultSpec,
+    InjectedFault,
+    as_clock,
+)
 from ..schedule.replan import diff_schedules, replan_schedule
 from .cache import CacheKey, ResultCache, solve_payload
 
@@ -100,7 +133,16 @@ MAX_BODY_BYTES = 64 * 1024 * 1024
 MAX_HEADER_LINES = 128
 MAX_HEADER_BYTES = 64 * 1024
 
-_Outcome = Tuple[str, Union[Dict[str, Any], str]]
+#: Outcome of one keyed solve as passed through single-flight futures:
+#: ``("ok", payload)`` or ``("error", (code, message))``.
+_Outcome = Tuple[str, Union[Dict[str, Any], Tuple[str, str]]]
+
+#: HTTP status per typed error code (anything else answers 500).
+_CODE_STATUS = {
+    "deadline_exceeded": 504,
+    "overloaded": 503,
+    "shutting_down": 503,
+}
 
 
 class _BadRequest(ValueError):
@@ -165,6 +207,21 @@ class SolverService:
         eligible requests (useful to exercise it through the service),
         ``"off"`` pins the per-instance path.  Per-request tier counts
         are served under ``kernel_tiers`` in ``GET /stats``.
+    max_queue_depth:
+        Admission-control bound on concurrent solve *leaders* (cache
+        hits and single-flight waiters are not counted).  A miss
+        arriving at the bound is answered ``503 overloaded`` with a
+        ``Retry-After`` hint instead of queued.  ``None`` disables the
+        bound (the pre-resilience behavior).
+    breaker:
+        The :class:`repro.resilience.CircuitBreaker` guarding the
+        process pool, or ``None`` for the default (3 restarts in 30 s
+        trips it; 10 s cooldown).  While open, misses solve in-process.
+    faults:
+        A :class:`repro.resilience.FaultPlan` (or live
+        :class:`~repro.resilience.FaultClock`, or plan dict) arming the
+        broker's injection seams — chaos testing only; ``None`` (the
+        default) arms nothing and costs one attribute read per seam.
     """
 
     def __init__(
@@ -178,6 +235,9 @@ class SolverService:
         priority: str = "earliest-start",
         lp_backend: str = "auto",
         batch_kernel: str = "auto",
+        max_queue_depth: Optional[int] = 256,
+        breaker: Optional[CircuitBreaker] = None,
+        faults: Union[FaultClock, Dict[str, Any], None] = None,
     ):
         if workers is None:
             workers = os.cpu_count() or 1
@@ -190,15 +250,22 @@ class SolverService:
                 "batch_kernel must be 'auto', 'on' or 'off', "
                 f"got {batch_kernel!r}"
             )
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ValueError(
+                f"max_queue_depth must be >= 1 or None, got {max_queue_depth}"
+            )
         self.workers = workers
         self.algorithm = algorithm
         self.priority = priority
         self.lp_backend = lp_backend
         self.batch_kernel = batch_kernel
+        self.max_queue_depth = max_queue_depth
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self.faults = as_clock(faults)
         self.cache = (
             cache
             if cache is not None
-            else ResultCache(cache_capacity, spill_dir)
+            else ResultCache(cache_capacity, spill_dir, faults=self.faults)
         )
         self._pool: Optional[Executor] = None
         self._pool_lock = threading.Lock()
@@ -207,6 +274,7 @@ class SolverService:
         self._solve_threads: Optional[ThreadPoolExecutor] = None
         self._aux_threads: Optional[ThreadPoolExecutor] = None
         self._inflight: Dict[CacheKey, "asyncio.Future[_Outcome]"] = {}
+        self._solve_tasks: Set["asyncio.Task[None]"] = set()
         self._connections: Dict["asyncio.Task[None]", _Connection] = {}
         self._server: Optional[asyncio.AbstractServer] = None
         self._stopped: Optional[asyncio.Event] = None
@@ -218,10 +286,13 @@ class SolverService:
         self._n_solved = 0
         self._n_deduped = 0
         self._n_errors = 0
-        # Kernel-tier counters are mutated from solve threads, not the
-        # loop — they get their own lock.
+        self._n_shed_deadline = 0
+        self._n_shed_overload = 0
+        self._avg_solve_s: Optional[float] = None
+        # Counters mutated from solve threads get their own lock.
         self._tier_counts: Dict[str, int] = {}
         self._tier_lock = threading.Lock()
+        self._n_degraded = 0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -292,22 +363,26 @@ class SolverService:
         # and the handler returns).  Connections with a request in
         # flight keep their writer: the handler finishes the solve,
         # delivers the response, then exits because the stop event is
-        # set.  Then wait for every handler task to end on its own —
-        # cancelling them mid-write would be noisy and lossy.  In-flight
+        # set.  Then wait for every handler task — and every detached
+        # solve task (a leader whose requester was deadline-shed keeps
+        # solving in the background) — to end on its own; cancelling
+        # them mid-write would be noisy and lossy.  In-flight
         # single-flight futures are NOT force-failed here: every leader
-        # is one of the gathered handlers and its finally block resolves
-        # the future, so waiters get the real result, not a 500.
+        # task's finally block resolves its future, so waiters get the
+        # real result, not a 500.
         for conn in list(self._connections.values()):
             if not conn.busy:
                 conn.writer.close()
-        if self._connections:
-            await asyncio.gather(
-                *list(self._connections), return_exceptions=True
-            )
+        drain = list(self._connections) + list(self._solve_tasks)
+        if drain:
+            await asyncio.gather(*drain, return_exceptions=True)
         self._connections.clear()
+        self._solve_tasks.clear()
         for fut in list(self._inflight.values()):
             if not fut.done():  # defensive: a leaderless future
-                fut.set_result(("error", "service shutting down"))
+                fut.set_result(
+                    ("error", ("shutting_down", "service shutting down"))
+                )
         self._inflight.clear()
         self._close_executors()
 
@@ -340,7 +415,8 @@ class SolverService:
                     # Framing problems get an answer, not a dropped
                     # connection (which could desync into the payload).
                     await self._write_response(
-                        writer, exc.status, self._error(str(exc)), False
+                        writer, exc.status,
+                        self._error(str(exc), "bad_request"), False,
                     )
                     break
                 if request is None:
@@ -350,12 +426,19 @@ class SolverService:
                 keep_alive = (
                     headers.get("connection", "").lower() != "close"
                 )
-                status, payload = await self._dispatch(method, path, body)
-                await self._write_response(
-                    writer, status, payload, keep_alive
+                status, payload = await self._dispatch(
+                    method, path, headers, body
+                )
+                # Respond-side fault seam: armed plans may reset, tear
+                # or corrupt solve/replan responses (chaos only).
+                fault = None
+                if self.faults.armed and path in ("/solve", "/replan"):
+                    fault = self.faults.maybe("broker.respond")
+                delivered = await self._write_response(
+                    writer, status, payload, keep_alive, fault=fault
                 )
                 conn.busy = False
-                if not keep_alive:
+                if not delivered or not keep_alive:
                     break
                 if self._stopped is not None and self._stopped.is_set():
                     # Shutting down: the response above was delivered;
@@ -431,92 +514,149 @@ class SolverService:
         status: int,
         payload: Dict[str, Any],
         keep_alive: bool,
-    ) -> None:
+        fault: Optional[FaultSpec] = None,
+    ) -> bool:
+        """Serialize and send one response; returns whether it was
+        delivered intact (injected transport faults return ``False`` so
+        the caller closes the connection, exactly as a real mid-response
+        network failure would look to both sides).
+
+        Every response carries ``X-Repro-Digest`` — the SHA-256 of the
+        body computed *before* any injected corruption — so a client
+        that checks it can never mistake a torn or corrupt payload for
+        an answer.  ``Retry-After`` surfaces when the payload carries a
+        ``retry_after_s`` hint (admission-control 503s).
+        """
         reasons = {
             200: "OK", 400: "Bad Request", 404: "Not Found",
             405: "Method Not Allowed", 500: "Internal Server Error",
-            501: "Not Implemented",
+            501: "Not Implemented", 503: "Service Unavailable",
+            504: "Gateway Timeout",
         }
+        if fault is not None and fault.kind == "socket_reset":
+            writer.transport.abort()
+            return False
         body = json.dumps(payload).encode()
+        digest = hashlib.sha256(body).hexdigest()
+        extra = ""
+        retry_after = payload.get("retry_after_s")
+        if isinstance(retry_after, (int, float)):
+            extra = f"Retry-After: {retry_after:.2f}\r\n"
         head = (
             f"HTTP/1.1 {status} {reasons.get(status, 'Unknown')}\r\n"
             "Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"X-Repro-Digest: sha256-{digest}\r\n"
+            f"{extra}"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
             "\r\n"
         )
+        if fault is not None and fault.kind == "torn_payload":
+            writer.write(head.encode("latin-1") + body[: len(body) // 2])
+            try:
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass
+            writer.transport.abort()
+            return False
+        if fault is not None and fault.kind == "corrupt_payload":
+            corrupted = bytearray(body)
+            for i in range(0, len(corrupted), 7):
+                corrupted[i] ^= 0x20
+            body = bytes(corrupted)  # framing intact, digest now wrong
         writer.write(head.encode("latin-1") + body)
         await writer.drain()
+        return True
 
     async def _dispatch(
-        self, method: str, path: str, body: bytes
+        self,
+        method: str,
+        path: str,
+        headers: Dict[str, str],
+        body: bytes,
     ) -> Tuple[int, Dict[str, Any]]:
         self._n_requests += 1
         if path == "/healthz":
             if method != "GET":
-                return 405, self._error("use GET /healthz")
+                return 405, self._error("use GET /healthz", "method_not_allowed")
             return 200, {"status": "ok", "version": __version__}
         if path == "/stats":
             if method != "GET":
-                return 405, self._error("use GET /stats")
+                return 405, self._error("use GET /stats", "method_not_allowed")
             return 200, self.stats()
         if path == "/shutdown":
             if method != "POST":
-                return 405, self._error("use POST /shutdown")
+                return 405, self._error("use POST /shutdown", "method_not_allowed")
             # Answer first, stop after: the event is read by
             # serve_forever on the next loop tick.
             asyncio.get_running_loop().call_soon(self.request_stop)
             return 200, {"status": "shutting-down"}
-        if path == "/solve":
+        if path in ("/solve", "/evolve", "/replan"):
             if method != "POST":
-                return 405, self._error("use POST /solve")
+                return 405, self._error(f"use POST {path}", "method_not_allowed")
             try:
                 data = json.loads(body.decode())
             except (UnicodeDecodeError, ValueError):
                 self._n_errors += 1
-                return 400, self._error("request body is not valid JSON")
-            if not isinstance(data, dict):
-                self._n_errors += 1
                 return 400, self._error(
-                    "request body must be a JSON object"
+                    "request body is not valid JSON", "bad_request"
                 )
-            return await self._handle_solve(data)
-        if path in ("/evolve", "/replan"):
-            if method != "POST":
-                return 405, self._error(f"use POST {path}")
-            try:
-                data = json.loads(body.decode())
-            except (UnicodeDecodeError, ValueError):
-                self._n_errors += 1
-                return 400, self._error("request body is not valid JSON")
             if not isinstance(data, dict):
                 self._n_errors += 1
                 return 400, self._error(
-                    "request body must be a JSON object"
+                    "request body must be a JSON object", "bad_request"
                 )
             if path == "/evolve":
                 return await self._handle_evolve(data)
-            return await self._handle_replan(data)
+            try:
+                deadline = self._request_deadline(headers)
+            except ValueError as exc:
+                self._n_errors += 1
+                return 400, self._error(str(exc), "bad_request")
+            if path == "/solve":
+                return await self._handle_solve(data, deadline)
+            return await self._handle_replan(data, deadline)
         return 404, self._error(
             f"unknown path {path!r}; known: /solve /evolve /replan "
-            "/stats /healthz /shutdown"
+            "/stats /healthz /shutdown",
+            "not_found",
         )
 
     @staticmethod
-    def _error(message: str) -> Dict[str, Any]:
-        return {"status": "error", "error": message}
+    def _error(message: str, code: str = "error") -> Dict[str, Any]:
+        """The typed error payload: ``code`` is machine-readable (the
+        client retries on some codes, never on others), ``error`` is
+        for humans."""
+        return {"status": "error", "code": code, "error": message}
+
+    @staticmethod
+    def _request_deadline(headers: Dict[str, str]) -> Optional[Deadline]:
+        """The request's remaining time budget from ``X-Deadline-Ms``,
+        or ``None`` when the client sent no deadline."""
+        raw = headers.get("x-deadline-ms")
+        if raw is None or raw == "":
+            return None
+        try:
+            budget = float(raw)
+        except ValueError:
+            raise ValueError(
+                f"malformed X-Deadline-Ms header: {raw!r}"
+            ) from None
+        if budget < 0:
+            raise ValueError("X-Deadline-Ms must be >= 0")
+        return Deadline(budget)
 
     # ------------------------------------------------------------------
     # the solve path: cache → single-flight → batch engine
     # ------------------------------------------------------------------
     async def _handle_solve(
-        self, data: Dict[str, Any]
+        self, data: Dict[str, Any], deadline: Optional[Deadline] = None
     ) -> Tuple[int, Dict[str, Any]]:
         loop = asyncio.get_running_loop()
         inst_data = data.get("instance")
         if inst_data is None:
             self._n_errors += 1
-            return 400, self._error("missing 'instance' field")
+            return 400, self._error("missing 'instance' field", "bad_request")
         try:
             # Parsing + content hashing can be expensive for large
             # instances: keep them off the loop so concurrent hits and
@@ -529,15 +669,16 @@ class SolverService:
             # is the client's 400, never a dead connection.
             self._n_errors += 1
             return 400, self._error(
-                f"invalid instance: {type(exc).__name__}: {exc}"
+                f"invalid instance: {type(exc).__name__}: {exc}",
+                "invalid_instance",
             )
         try:
             algorithm, priority = self._request_strategies(data)
         except (UnknownStrategyError, ValueError) as exc:
             self._n_errors += 1
-            return 400, self._error(str(exc))
+            return 400, self._error(str(exc), "unknown_strategy")
         return await self._solve_keyed(
-            instance, instance_key, algorithm, priority
+            instance, instance_key, algorithm, priority, deadline
         )
 
     def _request_strategies(
@@ -553,22 +694,42 @@ class SolverService:
             raise ValueError("'algorithm' and 'priority' must be strings")
         return canonical_strategy_pair(algorithm_name, priority_name)
 
+    def _retry_after_hint(self) -> float:
+        """Backoff hint for shed requests: about one recent solve time
+        (capacity frees up when a leader finishes), clamped sane."""
+        avg = self._avg_solve_s if self._avg_solve_s is not None else 0.1
+        return min(5.0, max(0.05, avg))
+
     async def _solve_keyed(
         self,
         instance: Instance,
         instance_key: str,
         algorithm: str,
         priority: str,
+        deadline: Optional[Deadline] = None,
     ) -> Tuple[int, Dict[str, Any]]:
         """Cache → single-flight → batch engine, for an already-parsed
         instance under its content key.  The shared tail of ``/solve``
         and ``/replan`` — a replanned child is keyed by its **own**
-        fingerprint, so deduplication and caching work unchanged."""
+        fingerprint, so deduplication and caching work unchanged.
+
+        ``deadline`` is the request's remaining budget: exhausted
+        budgets shed with ``504 deadline_exceeded`` (at admission, while
+        waiting on a single-flight leader, or while leading — in the
+        leader case the solve keeps running detached and lands in the
+        cache for the retry)."""
         loop = asyncio.get_running_loop()
         key: CacheKey = (instance_key, algorithm, priority)
         cached = await self._cache_get(key)
         if cached is not None:
             return 200, {**cached, "cached": True, "deduped": False}
+        if deadline is not None and deadline.expired():
+            self._n_shed_deadline += 1
+            self._n_errors += 1
+            return 504, self._error(
+                "deadline budget exhausted before solving began",
+                "deadline_exceeded",
+            )
 
         # NB: no await between this in-flight check and the leader's
         # registration below — that atomicity (on the single-threaded
@@ -576,13 +737,23 @@ class SolverService:
         fut = self._inflight.get(key)
         if fut is not None:
             # Single-flight: identical request already solving — wait
-            # for the leader.  shield() so one waiter's disconnect
-            # cannot cancel the shared future under everyone else.
+            # for the leader.  shield() so one waiter's disconnect (or
+            # deadline) cannot cancel the shared future under everyone
+            # else.
             self._n_deduped += 1
-            status, value = await asyncio.shield(fut)
-            if status != "ok":
+            try:
+                status, value = await self._await_outcome(fut, deadline)
+            except asyncio.TimeoutError:
+                self._n_shed_deadline += 1
                 self._n_errors += 1
-                return 500, self._error(str(value))
+                return 504, self._error(
+                    "deadline exceeded waiting for an identical "
+                    "in-flight solve",
+                    "deadline_exceeded",
+                )
+            if status != "ok":
+                return self._error_response(value)
+            assert isinstance(value, dict)
             return 200, {**value, "cached": False, "deduped": True}
 
         if self.cache.has_spill:
@@ -595,12 +766,84 @@ class SolverService:
             if cached is not None:
                 return 200, {**cached, "cached": True, "deduped": False}
 
+        if (
+            self.max_queue_depth is not None
+            and len(self._inflight) >= self.max_queue_depth
+        ):
+            # Admission control: answering 503-with-a-hint now beats
+            # queueing into a latency cliff.  Hits and waiters above
+            # are unaffected — only *new* solve work is shed.
+            self._n_shed_overload += 1
+            self._n_errors += 1
+            payload = self._error(
+                f"solve queue full ({self.max_queue_depth} in flight); "
+                "retry after the hint",
+                "overloaded",
+            )
+            payload["retry_after_s"] = self._retry_after_hint()
+            return 503, payload
+
         fut = loop.create_future()
         self._inflight[key] = fut
-        # Default stands if the awaiting task is torn down (client gone,
-        # loop shutting down) before the executor returns — the waiters
-        # must still be released.
-        outcome: _Outcome = ("error", "solve aborted")
+        # The solve runs as a detached task so a deadline-shed requester
+        # doesn't abort it: it resolves the future for any waiters,
+        # caches the result, and survives the requester's connection.
+        work = loop.create_task(
+            self._lead_solve(key, instance, algorithm, priority, fut)
+        )
+        self._solve_tasks.add(work)
+        work.add_done_callback(self._solve_tasks.discard)
+        try:
+            status, value = await self._await_outcome(fut, deadline)
+        except asyncio.TimeoutError:
+            self._n_shed_deadline += 1
+            self._n_errors += 1
+            return 504, self._error(
+                "deadline exceeded while solving; the solve continues "
+                "and will be cached",
+                "deadline_exceeded",
+            )
+        if status != "ok":
+            return self._error_response(value)
+        assert isinstance(value, dict)
+        return 200, {**value, "cached": False, "deduped": False}
+
+    @staticmethod
+    async def _await_outcome(
+        fut: "asyncio.Future[_Outcome]", deadline: Optional[Deadline]
+    ) -> _Outcome:
+        """Await a single-flight outcome under the request's remaining
+        budget; raises ``asyncio.TimeoutError`` on expiry.  The future
+        is shielded — a timed-out waiter never cancels the solve."""
+        remaining = None if deadline is None else deadline.remaining_s()
+        if remaining is None:
+            return await asyncio.shield(fut)
+        return await asyncio.wait_for(asyncio.shield(fut), remaining)
+
+    def _error_response(self, value) -> Tuple[int, Dict[str, Any]]:
+        """HTTP response for an ``("error", (code, message))`` outcome."""
+        self._n_errors += 1
+        if isinstance(value, tuple):
+            code, message = value
+        else:  # pre-typed outcome shape (defensive)
+            code, message = "error", str(value)
+        return _CODE_STATUS.get(code, 500), self._error(str(message), code)
+
+    async def _lead_solve(
+        self,
+        key: CacheKey,
+        instance: Instance,
+        algorithm: str,
+        priority: str,
+        fut: "asyncio.Future[_Outcome]",
+    ) -> None:
+        """The detached leader body: run the blocking solve on the
+        thread pool, cache an ok result, resolve the single-flight
+        future, and retire the in-flight entry — whatever happens."""
+        loop = asyncio.get_running_loop()
+        # Default stands if this task is torn down (loop shutting down)
+        # before the executor returns — waiters must still be released.
+        outcome: _Outcome = ("error", ("aborted", "solve aborted"))
         try:
             try:
                 outcome = await loop.run_in_executor(
@@ -612,18 +855,25 @@ class SolverService:
                     key,
                 )
             except Exception as exc:  # executor down, pickling, ...
-                outcome = ("error", f"{type(exc).__name__}: {exc}")
+                outcome = (
+                    "error",
+                    ("internal", f"{type(exc).__name__}: {exc}"),
+                )
             if outcome[0] == "ok":
+                assert isinstance(outcome[1], dict)
                 await self._cache_put(key, outcome[1])
                 self._n_solved += 1
+                wall = outcome[1].get("solve_wall_time")
+                if isinstance(wall, (int, float)):
+                    self._avg_solve_s = (
+                        wall
+                        if self._avg_solve_s is None
+                        else 0.8 * self._avg_solve_s + 0.2 * wall
+                    )
         finally:
             self._inflight.pop(key, None)
             if not fut.done():
                 fut.set_result(outcome)
-        if outcome[0] != "ok":
-            self._n_errors += 1
-            return 500, self._error(str(outcome[1]))
-        return 200, {**outcome[1], "cached": False, "deduped": False}
 
     @staticmethod
     def _parse_instance(data: Dict[str, Any]) -> Tuple[Instance, str]:
@@ -667,7 +917,8 @@ class SolverService:
         except Exception as exc:
             self._n_errors += 1
             return 400, self._error(
-                f"invalid evolution: {type(exc).__name__}: {exc}"
+                f"invalid evolution: {type(exc).__name__}: {exc}",
+                "invalid_evolution",
             )
         return 200, {
             "status": "ok",
@@ -678,7 +929,7 @@ class SolverService:
         }
 
     async def _handle_replan(
-        self, data: Dict[str, Any]
+        self, data: Dict[str, Any], deadline: Optional[Deadline] = None
     ) -> Tuple[int, Dict[str, Any]]:
         """``POST /replan``: evolve, re-solve, report the disturbance.
 
@@ -688,8 +939,8 @@ class SolverService:
         cache hit from its original ``/solve``.  With ``"anchored":
         true`` the response carries the disturbance-minimizing anchored
         schedule (completed tasks frozen, survivors near their old
-        slots) instead of the free re-solve's; makespan and the voided
-        ratio bound are adjusted accordingly.
+        slots) instead of the free re-solve's.  One ``X-Deadline-Ms``
+        budget spans both solves and the diff.
         """
         loop = asyncio.get_running_loop()
         try:
@@ -699,21 +950,22 @@ class SolverService:
         except Exception as exc:
             self._n_errors += 1
             return 400, self._error(
-                f"invalid evolution: {type(exc).__name__}: {exc}"
+                f"invalid evolution: {type(exc).__name__}: {exc}",
+                "invalid_evolution",
             )
         anchored = bool(data.get("anchored", False))
         try:
             algorithm, priority = self._request_strategies(data)
         except (UnknownStrategyError, ValueError) as exc:
             self._n_errors += 1
-            return 400, self._error(str(exc))
+            return 400, self._error(str(exc), "unknown_strategy")
         status, parent_payload = await self._solve_keyed(
-            parent, delta.parent_key, algorithm, priority
+            parent, delta.parent_key, algorithm, priority, deadline
         )
         if status != 200:
             return status, parent_payload
         status, child_payload = await self._solve_keyed(
-            child, delta.child_key, algorithm, priority
+            child, delta.child_key, algorithm, priority, deadline
         )
         if status != 200:
             return status, child_payload
@@ -800,7 +1052,18 @@ class SolverService:
         retries this request once on the fresh one — a resident daemon
         must not answer 500 forever because one past solve crashed a
         worker.  Solve-level failures are never retried.
+
+        Resilience hooks live here: the ``broker.solve`` fault seam
+        (chaos only), and the circuit breaker — with the breaker open,
+        the pool is bypassed and the solve runs in-process (degraded
+        but correct); a half-open breaker admits one pooled probe.
         """
+        try:
+            fault = self.faults.maybe("broker.solve")
+            if fault is not None:
+                self._execute_solve_fault(fault)
+        except InjectedFault as exc:
+            return ("error", ("injected_fault", str(exc)))
         rec = None
         for _attempt in (0, 1):
             with self._pool_lock:
@@ -809,6 +1072,15 @@ class SolverService:
                 # down a healthy pool.
                 pool = self._pool
                 generation = self._pool_generation
+            probing = False
+            if pool is not None and not self.breaker.allow():
+                # Breaker open: degrade to in-process solving rather
+                # than feed work to a pool that keeps dying.
+                pool = None
+                with self._tier_lock:
+                    self._n_degraded += 1
+            elif pool is not None and self.breaker.state != "closed":
+                probing = True
             runner = BatchRunner(
                 workers=self.workers if pool is not None else 0,
                 algorithm=algorithm,
@@ -820,6 +1092,8 @@ class SolverService:
             result = runner.run([instance], executor=pool)
             rec = result.records[0]
             if rec.ok:
+                if pool is not None and probing:
+                    self.breaker.record_success()
                 if rec.kernel_tier is not None:
                     with self._tier_lock:
                         self._tier_counts[rec.kernel_tier] = (
@@ -832,21 +1106,61 @@ class SolverService:
                 break
             self._replace_broken_pool(generation)
         if not rec.ok:
-            return ("error", rec.error or "solve failed")
+            error = rec.error or "solve failed"
+            if "injected:" in error:
+                code = "injected_fault"
+            elif POOL_FAILURE_PREFIX in error:
+                # Transient by construction — the pool has already been
+                # replaced — so clients may safely retry this one.
+                code = "pool_failure"
+            else:
+                code = "solve_failed"
+            return ("error", (code, error))
         return ("ok", solve_payload(key[0], rec))
+
+    def _execute_solve_fault(self, fault: FaultSpec) -> None:
+        """Run one armed ``broker.solve`` fault (solve-thread context).
+
+        ``slow_solve``/``pool_hang`` stall (what deadline budgets must
+        absorb); ``solve_error`` raises; ``worker_crash`` kills a live
+        pool worker so the *real* recovery path — broken pool detected,
+        replaced, request retried on the fresh pool — runs, or raises
+        when there is no pool to crash (workers=0).
+        """
+        if fault.kind == "slow_solve":
+            time.sleep(float(fault.param.get("delay_s", 0.01)))
+        elif fault.kind == "pool_hang":
+            time.sleep(float(fault.param.get("hang_s", 0.25)))
+        elif fault.kind == "solve_error":
+            raise InjectedFault(fault.kind, fault.site)
+        elif fault.kind == "worker_crash":
+            with self._pool_lock:
+                pool = self._pool
+            if pool is None:
+                raise InjectedFault(fault.kind, fault.site)
+            try:
+                # A real worker death: the pool is broken from here on;
+                # the solve below trips the replace-and-retry path.
+                pool.submit(os._exit, 13).result(timeout=60)
+            except Exception:
+                pass  # BrokenProcessPool — exactly the point
 
     def _replace_broken_pool(self, generation: int) -> None:
         """Swap in a fresh process pool (once per broken generation —
         concurrent solve threads detecting the same breakage race here
-        and only the first one swaps)."""
+        and only the first one swaps).  Each swap is a failure event
+        for the circuit breaker."""
+        swapped = False
         with self._pool_lock:
-            if self._pool_generation != generation or self._pool is None:
-                return
-            broken = self._pool
-            self._pool = _warmed_pool(self.workers)
-            self._pool_generation += 1
-            self._pool_restarts += 1
-        broken.shutdown(wait=False)
+            if self._pool_generation == generation and self._pool is not None:
+                broken = self._pool
+                self._pool = _warmed_pool(self.workers)
+                self._pool_generation += 1
+                self._pool_restarts += 1
+                swapped = True
+        if swapped:
+            self.breaker.record_failure()
+            broken.shutdown(wait=False)
 
     # ------------------------------------------------------------------
     # introspection
@@ -855,6 +1169,7 @@ class SolverService:
         """Daemon counters + cache counters (the ``/stats`` payload)."""
         with self._tier_lock:
             tiers = dict(self._tier_counts)
+            degraded = self._n_degraded
         return {
             "status": "ok",
             "version": __version__,
@@ -871,4 +1186,14 @@ class SolverService:
             "kernel_tiers": tiers,
             "inflight": len(self._inflight),
             "cache": self.cache.stats(),
+            "resilience": {
+                "max_queue_depth": self.max_queue_depth,
+                "shed_deadline": self._n_shed_deadline,
+                "shed_overload": self._n_shed_overload,
+                "degraded_solves": degraded,
+                "retry_after_hint_s": self._retry_after_hint(),
+                "breaker": self.breaker.stats(),
+                "faults_armed": self.faults.armed,
+                "faults_fired": self.faults.fired(),
+            },
         }

@@ -41,6 +41,7 @@ from pathlib import Path
 from typing import Any, Dict, Optional, Tuple, Union
 
 from .. import __version__
+from ..resilience import FaultClock, InjectedIOError, as_clock
 
 __all__ = ["CacheKey", "ResultCache", "solve_payload"]
 
@@ -99,6 +100,12 @@ class ResultCache:
         tracked per write/delete).  Once reached, new evictions are no
         longer spilled (existing files keep serving) instead of growing
         the directory without limit under sustained unique traffic.
+    faults:
+        Optional :class:`repro.resilience.FaultClock` (or plan) arming
+        the ``cache.spill_write`` / ``cache.spill_read`` seams — chaos
+        testing only.  An injected spill fault degrades exactly like
+        the real thing it models (full disk, torn file): the entry is
+        simply not spilled, or the read is a miss and re-solved.
     """
 
     def __init__(
@@ -106,6 +113,7 @@ class ResultCache:
         capacity: int = 1024,
         spill_dir: Optional[_PathLike] = None,
         spill_max_files: int = 65536,
+        faults: Optional[FaultClock] = None,
     ):
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
@@ -115,6 +123,7 @@ class ResultCache:
             )
         self._capacity = int(capacity)
         self._spill_max_files = int(spill_max_files)
+        self.faults = as_clock(faults)
         self._spill_dir: Optional[Path] = None
         self._spill_count = 0
         if spill_dir is not None:
@@ -284,16 +293,26 @@ class ResultCache:
             except OSError:
                 continue  # spill dir gone/read-only: degrade to no-op
             try:
+                text = json.dumps(
+                    {
+                        "key": list(key),
+                        "version": __version__,
+                        "value": value,
+                    }
+                )
+                if self.faults.armed:
+                    fault = self.faults.maybe("cache.spill_write")
+                    if fault is not None:
+                        if fault.kind == "spill_corrupt":
+                            # A torn write that still got published —
+                            # the read side must treat it as a miss.
+                            text = text[: len(text) // 2]
+                        else:
+                            raise InjectedIOError(
+                                fault.kind, fault.site
+                            )
                 with os.fdopen(fd, "w") as fh:
-                    fh.write(
-                        json.dumps(
-                            {
-                                "key": list(key),
-                                "version": __version__,
-                                "value": value,
-                            }
-                        )
-                    )
+                    fh.write(text)
                 os.replace(tmp_name, path)
                 with self._lock:
                     self._spill_writes += 1
@@ -312,6 +331,10 @@ class ResultCache:
             return None
         path = self._spill_path(key)
         try:
+            if self.faults.armed:
+                fault = self.faults.maybe("cache.spill_read")
+                if fault is not None:
+                    raise InjectedIOError(fault.kind, fault.site)
             data = json.loads(path.read_text())
         except (OSError, ValueError):
             return None  # absent or corrupt: a plain miss

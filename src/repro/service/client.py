@@ -1,57 +1,130 @@
 """Synchronous client for the scheduling daemon.
 
 A thin stdlib (``http.client``) wrapper over the broker's wire
-protocol; used by the test suite, the CI smoke job and the
-``benchmarks/bench_service.py`` load generator.  One client holds one
-keep-alive connection — use one client per thread (they are cheap), as
-``http.client`` connections are not thread-safe.
+protocol; used by the test suite, the CI smoke job, the chaos harness
+and the ``benchmarks/bench_service.py`` load generator.  One client
+holds one keep-alive connection — use one client per thread (they are
+cheap), as ``http.client`` connections are not thread-safe.
 
     from repro.service import ServiceClient
 
     with ServiceClient(port=8705) as c:
         reply = c.solve(instance, algorithm="jz")
         reply["makespan"], reply["cached"], reply["schedule"]
+
+Resilience (``docs/resilience.md`` has the full story):
+
+* **Retry** — transient failures (a dead connection, a torn response,
+  a ``503 overloaded``, an injected fault, a corrupt payload caught by
+  the integrity digest) are retried under a
+  :class:`repro.resilience.RetryPolicy` (exponential backoff, full
+  jitter, server ``Retry-After`` honored as a floor).  Retries are
+  **idempotency-aware**: solve/evolve/replan/stats/healthz are
+  idempotent by construction (solves are content-keyed — re-sending
+  one is a cache hit, never a double solve) and retried freely;
+  ``shutdown`` is not and is never retried unless ``retry_unsafe``.
+* **Deadline** — ``deadline_ms`` caps the *total* time of one logical
+  request across all its attempts, and each attempt tells the broker
+  how much budget is left via the ``X-Deadline-Ms`` header so the
+  server sheds work it cannot finish in time instead of answering
+  late.
+* **Integrity** — every daemon response carries ``X-Repro-Digest``
+  (SHA-256 of the body); the client verifies it, so a corrupted or
+  torn payload is a retryable error, never a silently wrong schedule.
 """
 
 from __future__ import annotations
 
+import hashlib
 import http.client
 import json
 from typing import Any, Dict, List, Optional, Union
 
 from ..core.instance import Instance
 from ..io import instance_to_dict
+from ..resilience import Deadline, RetryPolicy
 from .broker import DEFAULT_HOST, DEFAULT_PORT
 
 __all__ = ["ServiceClient", "ServiceError"]
 
+#: Typed error codes worth another attempt: the daemon is overloaded
+#: (explicitly told us when to come back), mid-shutdown (a fresh daemon
+#: may be seconds away), lost a pool worker mid-solve (the broker has
+#: already replaced the pool), hit an injected chaos fault, or served
+#: bytes that failed the integrity check.  Notably absent: the 4xx
+#: family (the request itself is bad) and ``deadline_exceeded`` (the
+#: budget that expired is ours — there is no time left to retry in).
+RETRYABLE_CODES = frozenset(
+    {"overloaded", "shutting_down", "pool_failure", "injected_fault",
+     "corrupt_payload", "bad_response"}
+)
+
 
 class ServiceError(RuntimeError):
-    """A non-2xx reply from the daemon.
+    """A non-2xx (or integrity-failing) reply from the daemon.
 
     ``http_status`` holds the HTTP code, ``payload`` the decoded error
-    body (``{"status": "error", "error": ...}``).
+    body (``{"status": "error", "code": ..., "error": ...}``), and
+    :attr:`code` the machine-readable error code the broker typed the
+    failure with (``None`` for pre-typed or foreign servers).
     """
 
     def __init__(self, http_status: int, payload: Dict[str, Any]):
         self.http_status = http_status
         self.payload = payload
         message = payload.get("error", "unknown service error")
-        super().__init__(f"[HTTP {http_status}] {message}")
+        code = payload.get("code")
+        tag = f" {code}" if isinstance(code, str) else ""
+        super().__init__(f"[HTTP {http_status}{tag}] {message}")
+
+    @property
+    def code(self) -> Optional[str]:
+        """The typed error code (``"overloaded"``,
+        ``"deadline_exceeded"``, ...), or ``None``."""
+        code = self.payload.get("code")
+        return code if isinstance(code, str) else None
 
 
 class ServiceClient:
-    """Blocking client over one keep-alive connection."""
+    """Blocking client over one keep-alive connection.
+
+    Parameters
+    ----------
+    host, port:
+        The daemon's address.
+    timeout:
+        Socket-level timeout per attempt (seconds).
+    retry:
+        The :class:`repro.resilience.RetryPolicy` for transient
+        failures; ``None`` uses the default (3 attempts, 50 ms base,
+        2 s cap).  ``RetryPolicy(max_attempts=1)`` disables retries.
+    deadline_ms:
+        Default total time budget per logical request (all attempts +
+        backoff), propagated to the broker via ``X-Deadline-Ms``.
+        ``None`` (default) means unbounded.
+    retry_unsafe:
+        Opt-in to retrying non-idempotent requests (``shutdown``) too.
+        Off by default: a retried shutdown could stop a daemon that
+        already acknowledged the first one to someone else.
+    """
 
     def __init__(
         self,
         host: str = DEFAULT_HOST,
         port: int = DEFAULT_PORT,
         timeout: float = 300.0,
+        retry: Optional[RetryPolicy] = None,
+        deadline_ms: Optional[float] = None,
+        retry_unsafe: bool = False,
     ):
         self.host = host
         self.port = int(port)
         self.timeout = timeout
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.deadline_ms = deadline_ms
+        self.retry_unsafe = retry_unsafe
+        #: Attempts the most recent request used (1 = no retries).
+        self.last_attempts = 0
         self._conn: Optional[http.client.HTTPConnection] = None
 
     # ------------------------------------------------------------------
@@ -66,7 +139,9 @@ class ServiceClient:
         """Solve ``instance`` (an :class:`Instance` or an instance
         dict) under the given strategy pair; returns the daemon's solve
         payload (schedule dict, makespan, certified lower bound,
-        ``cached``/``deduped`` flags)."""
+        ``cached``/``deduped`` flags).  Idempotent — the daemon keys
+        solves by content, so a retried send lands on the cache line
+        the first send populated."""
         body: Dict[str, Any] = {
             "instance": (
                 instance_to_dict(instance)
@@ -88,7 +163,8 @@ class ServiceClient:
     ) -> Dict[str, Any]:
         """Apply an operation list to ``instance`` on the daemon
         (``POST /evolve``); returns the evolved instance dict, its
-        fingerprint and the structured delta.  Nothing is solved.  See
+        fingerprint and the structured delta.  Nothing is solved (a
+        pure function of the request — idempotent).  See
         :func:`repro.core.evolve.apply_operations` for the operation
         format."""
         body: Dict[str, Any] = {
@@ -119,7 +195,7 @@ class ServiceClient:
         parent solve's key numbers).  With ``anchored=True`` the
         returned schedule is the disturbance-minimizing anchored one
         (completed tasks frozen at their recorded starts) instead of
-        the free re-solve's.
+        the free re-solve's.  Idempotent: both solves are content-keyed.
         """
         body: Dict[str, Any] = {
             "instance": (
@@ -146,8 +222,11 @@ class ServiceClient:
         return self._request("GET", "/healthz")
 
     def shutdown(self) -> Dict[str, Any]:
-        """Ask the daemon to stop (``POST /shutdown``)."""
-        return self._request("POST", "/shutdown")
+        """Ask the daemon to stop (``POST /shutdown``).  Not retried
+        unless the client was built with ``retry_unsafe=True``."""
+        return self._request(
+            "POST", "/shutdown", idempotent=self.retry_unsafe
+        )
 
     # ------------------------------------------------------------------
     # plumbing
@@ -157,29 +236,114 @@ class ServiceClient:
         method: str,
         path: str,
         body: Optional[Dict[str, Any]] = None,
+        *,
+        idempotent: bool = True,
     ) -> Dict[str, Any]:
         payload = None if body is None else json.dumps(body).encode()
-        headers = {"Content-Type": "application/json"}
-        # One transparent retry on a dead keep-alive connection (the
-        # daemon restarted, or an idle timeout closed the socket).
-        for attempt in (0, 1):
-            conn = self._connection()
+        deadline = Deadline(self.deadline_ms)
+        max_attempts = self.retry.max_attempts if idempotent else 1
+        attempt = 0
+        self.last_attempts = 0
+        while True:
+            self.last_attempts = attempt + 1
+            headers = {"Content-Type": "application/json"}
+            remaining = deadline.remaining_ms()
+            if remaining is not None:
+                # Tell the broker how much budget this attempt has left
+                # so it sheds (504) instead of answering late.
+                headers["X-Deadline-Ms"] = f"{remaining:.1f}"
+            failure: BaseException
+            retry_after: Optional[float] = None
             try:
+                conn = self._connection()
                 conn.request(method, path, body=payload, headers=headers)
                 resp = conn.getresponse()
                 raw = resp.read()
-                break
-            except (ConnectionError, http.client.HTTPException, OSError):
+            except (
+                ConnectionError, http.client.HTTPException, OSError
+            ) as exc:
+                # Dead/reset/torn connection: drop it; retry decides.
                 self.close()
-                if attempt:
-                    raise
+                failure = exc
+            else:
+                retry_after = self._parse_retry_after(
+                    resp.getheader("Retry-After")
+                )
+                outcome = self._classify(resp.status, resp.headers, raw)
+                if not isinstance(outcome, ServiceError):
+                    return outcome
+                if (
+                    outcome.code is not None
+                    and outcome.code not in RETRYABLE_CODES
+                ) or (outcome.code is None and outcome.http_status < 500):
+                    raise outcome  # typed non-transient: retry is futile
+                failure = outcome
+            attempt += 1
+            if attempt >= max_attempts or deadline.expired():
+                if isinstance(failure, ServiceError):
+                    raise failure
+                # Exhausted retries on transport failures still fail
+                # *typed* — callers get one exception type with a code
+                # (http_status 0: no HTTP response was ever received).
+                raise ServiceError(
+                    0,
+                    {
+                        "status": "error",
+                        "code": "connection_error",
+                        "error": f"{type(failure).__name__}: {failure}",
+                    },
+                ) from failure
+            self.retry.sleep(
+                attempt - 1, retry_after_s=retry_after, deadline=deadline
+            )
+
+    def _classify(
+        self, status: int, headers, raw: bytes
+    ) -> Union[Dict[str, Any], ServiceError]:
+        """One attempt's outcome: the decoded payload on success, a
+        :class:`ServiceError` otherwise (the caller decides on retry).
+
+        The integrity digest is checked *first* — a corrupted 200 must
+        become a typed error before anything trusts its bytes.
+        """
+        digest = headers.get("X-Repro-Digest")
+        if digest is not None and digest.startswith("sha256-"):
+            if hashlib.sha256(raw).hexdigest() != digest[len("sha256-"):]:
+                return ServiceError(
+                    status,
+                    {
+                        "status": "error",
+                        "code": "corrupt_payload",
+                        "error": "response body failed the integrity "
+                        "digest check",
+                    },
+                )
         try:
             decoded = json.loads(raw.decode())
         except ValueError:
-            decoded = {"status": "error", "error": raw.decode(errors="replace")}
-        if resp.status >= 400:
-            raise ServiceError(resp.status, decoded)
+            return ServiceError(
+                status,
+                {
+                    "status": "error",
+                    "code": "bad_response",
+                    "error": raw.decode(errors="replace")[:200],
+                },
+            )
+        if status >= 400:
+            return ServiceError(status, decoded)
         return decoded
+
+    @staticmethod
+    def _parse_retry_after(value: Optional[str]) -> Optional[float]:
+        """Seconds from a ``Retry-After`` header (delta form only —
+        the broker never sends HTTP dates), or ``None``."""
+        if value is None:
+            return None
+        try:
+            seconds = float(value)
+        except ValueError:
+            return None
+        return seconds if seconds >= 0 else None
 
     def _connection(self) -> http.client.HTTPConnection:
         if self._conn is None:

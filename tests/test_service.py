@@ -16,6 +16,7 @@ import pytest
 
 from repro.io import schedule_to_dict
 from repro.pipeline import SchedulingPipeline
+from repro.resilience import RetryPolicy
 from repro.schedule import validate_schedule
 from repro.service import (
     ResultCache,
@@ -303,10 +304,17 @@ class TestPoolRecovery:
         try:
             inst = _inst(seed=9)
             with serve_in_thread(workers=1) as handle:
-                with ServiceClient(port=handle.port) as c:
+                # No retries: pool failures are a retryable code, and
+                # transparently re-submitting a *deterministic* poison
+                # pill would just crash fresh workers until the breaker
+                # degrades it to in-process — where _os._exit would
+                # take the daemon with it.
+                retry = RetryPolicy(max_attempts=1)
+                with ServiceClient(port=handle.port, retry=retry) as c:
                     with pytest.raises(ServiceError) as exc:
                         c.solve(inst, algorithm="crash-probe")
                     assert exc.value.http_status == 500
+                    assert exc.value.code == "pool_failure"
                     # The resident pool was replaced: the next miss
                     # must solve normally, not 500 forever.
                     reply = c.solve(inst)
