@@ -48,6 +48,7 @@ NAV: Tuple[Tuple[str, str], ...] = (
     ("campaigns.md", "Experiment campaigns"),
     ("service.md", "Solver service & HTTP API"),
     ("resilience.md", "Resilience & chaos testing"),
+    ("observability.md", "Observability"),
     ("evolve.md", "Evolution & replanning"),
     ("performance.md", "Performance"),
     ("reference/strategies.md", "Reference: strategies"),

@@ -32,6 +32,8 @@ import numpy as np
 from ..baselines.ltw import LTW_RHO
 from ..core.instance import Instance
 from ..core.parameters import resolve_parameters
+from ..obs import trace as obs_trace
+from ..obs.metrics import REGISTRY as _METRICS
 from ..pipeline.base import SolveReport
 from ..pipeline.registry import get_allotment, get_phase2
 from ..theory.ltw import ltw_parameters
@@ -63,6 +65,19 @@ ELIGIBLE_PRIORITY = "earliest-start"
 #: the per-instance array path already amortizes its NumPy overhead and
 #: batching buys little while holding B instances' arrays live at once.
 AUTO_MAX_TASKS = 2048
+
+
+_GROUPS = _METRICS.counter(
+    "repro_solver_batchkernel_groups_total",
+    "Instance groups solved end-to-end by the batched kernel tier",
+)
+# Same family the per-instance pipeline bumps: a solve is a solve,
+# whichever kernel tier produced it.
+_SOLVES = _METRICS.counter(
+    "repro_solver_solves_total",
+    "Pipeline solves completed, by allotment strategy",
+    ("algorithm",),
+)
 
 
 class BatchKernelError(RuntimeError):
@@ -135,8 +150,11 @@ def solve_batch(
         return []
 
     t0 = time.perf_counter()
-    bcsr = pack_csrs([inst.dag.to_csr() for inst in instances])
-    sp = stack_profiles(instances)
+    with obs_trace.span("batchkernel.pack", blocks=nb):
+        bcsr = pack_csrs([inst.dag.to_csr() for inst in instances])
+        sp = stack_profiles(instances)
+        obs_trace.add("batchkernel_blocks", nb)
+        obs_trace.add("batchkernel_packed_tasks", int(bcsr.n_total))
     n_b = np.diff(sp.node_ptr)
 
     rho_rep: List[Optional[float]]
@@ -180,8 +198,9 @@ def solve_batch(
             raise BatchKernelError(
                 "batched LP tier needs scipy, which is unavailable"
             )
-        blocks = assemble_batch_lp(sp, bcsr)
-        sols = solve_ub_blocks(blocks)
+        with obs_trace.span("batchkernel.solve", stage="lp", blocks=nb):
+            blocks = assemble_batch_lp(sp, bcsr)
+            sols = solve_ub_blocks(blocks)
         x = extract_block_x(sp, sols)
         allot_flat = batched_round(
             sp, x, np.repeat(rho_blocks, n_b)
@@ -206,8 +225,11 @@ def solve_batch(
             )
         cap_blocks[b] = cap
     alloc = np.minimum(allot_flat, np.repeat(cap_blocks, n_b))
-    schedules = batched_list_schedule(sp, bcsr, alloc)
+    with obs_trace.span("batchkernel.solve", stage="list", blocks=nb):
+        schedules = batched_list_schedule(sp, bcsr, alloc)
     t2 = time.perf_counter()
+    _GROUPS.inc()
+    _SOLVES.labels(algo).inc(nb)
 
     allot_time = (t1 - t0) / nb
     sched_time = (t2 - t1) / nb

@@ -210,6 +210,41 @@ def build_parser() -> argparse.ArgumentParser:
     v.add_argument("instance")
     v.add_argument("schedule")
 
+    tr = sub.add_parser(
+        "trace",
+        help="run one traced solve and export Chrome trace-event JSON",
+        description=(
+            "Arm the span tracer, solve one instance (a file, or a "
+            "generated workload), and write the flight recording as "
+            "Chrome/Perfetto trace-event JSON (open it at "
+            "chrome://tracing or https://ui.perfetto.dev).  Spans "
+            "carry wall-clock timings plus deterministic work "
+            "counters (LP pivots, binary-search probes, frontier "
+            "sizes); the printed profile digest is bit-identical "
+            "across same-seed runs, so a trace doubles as a "
+            "regression artifact."
+        ),
+    )
+    tr.add_argument(
+        "instance", nargs="?", default=None,
+        help="instance JSON to solve (default: generate a workload "
+             "from --family/--size/--seed)",
+    )
+    tr.add_argument("--family", default="layered")
+    tr.add_argument("--size", type=int, default=200)
+    tr.add_argument("-m", "--processors", type=int, default=8)
+    tr.add_argument("--model", default="power")
+    tr.add_argument("--seed", type=int, default=0)
+    tr.add_argument(
+        "-o", "--output", default="trace.json", metavar="FILE",
+        help="trace-event JSON destination (default: trace.json)",
+    )
+    tr.add_argument(
+        "--capacity", type=int, default=8192, metavar="N",
+        help="span ring-buffer size (default: 8192; older spans drop)",
+    )
+    _add_strategy_options(tr)
+
     e = sub.add_parser(
         "evolve",
         help="apply a mutation list to an instance (optionally replan)",
@@ -351,6 +386,13 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "arm this JSON fault plan's injection seams (chaos "
             "testing; see `repro-sched chaos` and docs/resilience.md)"
+        ),
+    )
+    sv.add_argument(
+        "--log-json", action="store_true",
+        help=(
+            "emit structured logs as JSON lines on stderr (one object "
+            "per record; warnings are mirrored as WARNING records)"
         ),
     )
     _add_strategy_options(sv)
@@ -773,6 +815,11 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         for rec in result.records:
             print(json.dumps(rec.to_dict()))
     s = result.summary()
+    if args.output:
+        # Machine-readable companion to the record file: the aggregate
+        # counts plus the solver-core ``metrics`` block as one JSON line
+        # (stdout stays record-JSONL when no ``-o`` is given).
+        print(json.dumps(s, sort_keys=True))
     tiers = s["kernel_tiers"]
     tier_note = (
         " [" + ", ".join(
@@ -962,14 +1009,69 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     }[args.campaign_command](args)
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import hashlib
+
+    from .obs import trace as obs_trace
+
+    pipe = _build_pipeline(args, "trace")
+    if pipe is None:
+        return 2
+    if args.instance is not None:
+        from .io import load_instance
+
+        try:
+            inst = load_instance(args.instance)
+        except Exception as exc:
+            print(
+                f"trace: cannot load instance {args.instance!r}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        from .workloads import make_instance
+
+        inst = make_instance(
+            args.family, args.size, args.processors,
+            model=args.model, seed=args.seed,
+        )
+    tracer = obs_trace.Tracer(capacity=args.capacity)
+    try:
+        with obs_trace.tracing(tracer):
+            rep = pipe.solve(inst)
+    except Exception as exc:
+        print(f"trace: {args.algorithm} failed: {exc}", file=sys.stderr)
+        return 1
+    tracer.dump(args.output)
+    # The deterministic profile is wall-time-free: its digest is
+    # bit-identical across same-seed runs and machines, which is what
+    # makes a trace usable as a regression artifact.
+    digest = hashlib.sha256(
+        json.dumps(tracer.deterministic_profile(), sort_keys=True).encode()
+    ).hexdigest()
+    spans = tracer.spans()
+    print(
+        f"trace: {len(spans)} spans written to {args.output} "
+        f"(makespan={rep.makespan:.6g}, "
+        f"lower_bound={rep.lower_bound:.6g})"
+    )
+    for name, value in sorted(tracer.counter_totals().items()):
+        print(f"trace:   {name} = {value}")
+    print(f"trace: deterministic profile sha256:{digest[:16]}")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
     import signal
 
+    from .obs import log as obs_log
     from .pipeline import UnknownStrategyError
     from .resilience import FaultPlan
     from .service import SolverService
 
+    if args.log_json:
+        obs_log.configure(json_lines=True)
     faults = None
     if args.fault_plan is not None:
         try:
@@ -1149,6 +1251,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "params": _cmd_params,
         "generate": _cmd_generate,
         "validate": _cmd_validate,
+        "trace": _cmd_trace,
         "evolve": _cmd_evolve,
         "batch": _cmd_batch,
         "serve": _cmd_serve,

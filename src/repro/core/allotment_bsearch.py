@@ -43,6 +43,8 @@ from typing import NamedTuple, Optional, Tuple
 import numpy as np
 
 from ..lpsolve import LinearProgram, LpError
+from ..obs import trace as obs_trace
+from ..obs.metrics import REGISTRY as _METRICS
 from .arrays import memoized_on_instance
 from .instance import Instance
 from .rounding import round_fractional_times
@@ -204,6 +206,12 @@ def _build_deadline_model(
     return lp, x_vars
 
 
+_PROBES = _METRICS.counter(
+    "repro_solver_bsearch_probes_total",
+    "Deadline LP probes solved by the binary-search phase 1",
+)
+
+
 class _DeadlineSolver:
     """Warm-start state for the binary search's repeated deadline solves.
 
@@ -247,6 +255,12 @@ class _DeadlineSolver:
         """One probe: ``None`` when the deadline is infeasible."""
         if deadline <= 0:
             return None
+        with obs_trace.span("lp.probe", deadline=deadline):
+            obs_trace.add("bsearch_probes", 1)
+            _PROBES.inc()
+            return self._probe(deadline)
+
+    def _probe(self, deadline: float) -> Optional[DeadlineLpResult]:
         instance = self._instance
         n = instance.n_tasks
         if self._arrays is not None:

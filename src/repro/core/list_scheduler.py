@@ -56,9 +56,17 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from ..obs import trace as obs_trace
+from ..obs.metrics import REGISTRY as _METRICS
 from ..schedule import ResourceTimeline, Schedule, ScheduledTask
 from ..schedule.timeline import ArrayTimeline
 from .instance import Instance
+
+_FRONTIER_STEPS = _METRICS.counter(
+    "repro_solver_frontier_steps_total",
+    "List-scheduler iterations (one task scheduled per step) by tier",
+    ("tier",),
+)
 
 __all__ = [
     "dispatch_tier",
@@ -185,10 +193,21 @@ def list_schedule(
     succ_indptr, succ_indices = csr.succ_indptr, csr.succ_indices
     pred_indptr, pred_indices = csr.pred_indptr, csr.pred_indices
     entries: List[ScheduledTask] = []
+    # Frontier-size accounting only when a tracer is armed: the global
+    # read is hoisted out of the loop, leaving a local None-check per
+    # iteration on the disarmed path.
+    tracer = obs_trace.active()
+    frontier_sum = 0
+    frontier_peak = 0
 
     for _ in range(n):
         if not ready_ids.size:  # pragma: no cover - impossible on a DAG
             raise RuntimeError("no ready task but unscheduled tasks remain")
+        if tracer is not None:
+            w = int(ready_ids.size)
+            frontier_sum += w
+            if w > frontier_peak:
+                frontier_peak = w
         # Schedule the ready task with the smallest earliest start.  The
         # argmin over the (index-sorted) ready frontier — first
         # occurrence = lowest task id — equals the reference tolerance
@@ -247,6 +266,11 @@ def list_schedule(
                     est[ids], dur[ids], alloc[ids]
                 )
 
+    _FRONTIER_STEPS.labels("array").inc(n)
+    if tracer is not None:
+        tracer.add("frontier_steps", n)
+        tracer.add("frontier_size_sum", frontier_sum)
+        tracer.add("frontier_peak", frontier_peak)
     return Schedule(m, entries)
 
 
@@ -285,10 +309,18 @@ def list_schedule_loop(
     est = {
         j: timeline.earliest_start(0.0, dur[j], alloc[j]) for j in ready
     }
+    tracer = obs_trace.active()
+    frontier_sum = 0
+    frontier_peak = 0
 
     while n_sched < n:
         if not ready:  # pragma: no cover - impossible on a DAG
             raise RuntimeError("no ready task but unscheduled tasks remain")
+        if tracer is not None:
+            w = len(ready)
+            frontier_sum += w
+            if w > frontier_peak:
+                frontier_peak = w
         # Schedule the ready task with the smallest earliest start; ready
         # is kept sorted so numerically tied starts go to the lowest index.
         best_i, best_t = -1, float("inf")
@@ -325,6 +357,11 @@ def list_schedule_loop(
                 )
                 insort(ready, s)
 
+    _FRONTIER_STEPS.labels("loop").inc(n)
+    if tracer is not None:
+        tracer.add("frontier_steps", n)
+        tracer.add("frontier_size_sum", frontier_sum)
+        tracer.add("frontier_peak", frontier_peak)
     return Schedule(m, entries)
 
 

@@ -34,6 +34,7 @@ from typing import NamedTuple, Tuple
 import numpy as np
 
 from ..lpsolve import LinearProgram, LpSolution
+from ..obs import trace as obs_trace
 from .arrays import memoized_on_instance
 from .instance import Instance
 
@@ -373,8 +374,10 @@ def solve_allotment_lp(
 
                 raise LpError("scipy backend requested but unavailable")
         else:
-            arrays = assemble_allotment_arrays(instance)
-            sol = solve_ub_arrays(arrays)
+            with obs_trace.span("lp.assemble", n=instance.n_tasks):
+                arrays = assemble_allotment_arrays(instance)
+            with obs_trace.span("lp.solve", backend="scipy"):
+                sol = solve_ub_arrays(arrays)
             n = instance.n_tasks
             return _result_from_values(
                 instance,
@@ -385,7 +388,8 @@ def solve_allotment_lp(
                 objective=sol.objective,
                 backend=sol.backend,
             )
-    built = build_allotment_lp(instance)
+    with obs_trace.span("lp.assemble", n=instance.n_tasks, layer="model"):
+        built = build_allotment_lp(instance)
     sol: LpSolution = built.lp.solve(backend=backend)
     return _result_from_values(
         instance,

@@ -60,7 +60,6 @@ import json
 import os
 import time
 import traceback
-import warnings
 from concurrent.futures import (
     FIRST_COMPLETED,
     Executor,
@@ -72,6 +71,10 @@ from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
 
 from ..core.instance import Instance
+from ..obs import log as obs_log
+from ..obs import trace as obs_trace
+from ..obs.metrics import REGISTRY as _METRICS
+from ..obs.metrics import flatten_counters
 
 __all__ = [
     "POOL_FAILURE_PREFIX",
@@ -97,6 +100,17 @@ BatchItem = Union[Instance, str, Path]
 #: The service broker keys its replace-broken-pool logic on it — keep
 #: the two in sync through this constant, never a literal.
 POOL_FAILURE_PREFIX = "worker/pool failure"
+
+_KERNEL_TIER = _METRICS.counter(
+    "repro_solver_kernel_tier_total",
+    "Batch records solved per kernel tier (batched/array/loop)",
+    ("tier",),
+)
+_BK_FALLBACK = _METRICS.counter(
+    "repro_solver_batchkernel_fallback_total",
+    "Whole-group fallbacks from the batched kernel tier to the "
+    "per-instance path",
+)
 
 #: JSONL record schema version.  History:
 #: 1 — PR 1: JZ-only records, no version field (absence == version 1);
@@ -172,6 +186,14 @@ class BatchResult:
     records: tuple
     workers: int
     wall_time: float
+    #: Work-counter deltas this batch added to the process-wide metrics
+    #: registry (``name{labels}`` -> gained count), pool-worker deltas
+    #: included — for a quiet process the sum of worker deltas equals
+    #: the parent's registry gain exactly (asserted by the test suite).
+    #: Attribution assumes one batch at a time per process: concurrent
+    #: in-process batches (the service broker's solve threads) may see
+    #: each other's counts here, while registry *totals* stay exact.
+    metrics: Dict[str, float] = field(default_factory=dict)
 
     @property
     def n_ok(self) -> int:
@@ -210,6 +232,7 @@ class BatchResult:
             "wall_time": self.wall_time,
             "throughput": self.throughput,
             "kernel_tiers": self.kernel_tiers(),
+            "metrics": self.metrics,
         }
 
 
@@ -249,14 +272,25 @@ def _ok_record(
     return rec
 
 
-def _solve_chunk(payloads) -> List[Dict[str, Any]]:
+def _solve_chunk(payloads) -> Dict[str, Any]:
     """Worker body for a chunk of instances: one future, many solves.
 
     Module-level so it pickles under every multiprocessing start method.
     Failure isolation stays per-instance: :func:`_solve_one` never
     raises, so one bad instance cannot poison its chunk-mates.
+
+    Besides the records, the chunk ships back the *delta* its solves
+    added to the worker process's metrics registry (a picklable counter
+    state) — the parent folds every chunk's delta into its own registry,
+    so the process-wide counters are exactly preserved across the pool:
+    sum of worker deltas == what an in-process run would have counted.
     """
-    return [_solve_one(p) for p in payloads]
+    before = _METRICS.counter_state()
+    records = [_solve_one(p) for p in payloads]
+    return {
+        "records": records,
+        "metrics": _METRICS.counters_since(before),
+    }
 
 
 def _solve_one(payload) -> Dict[str, Any]:
@@ -506,6 +540,7 @@ class BatchRunner:
         instances = list(instances)
         workers = self.resolved_workers()
         t0 = time.perf_counter()
+        metrics_before = _METRICS.counter_state()
         batched_raw, batched_idx = self._run_batched(
             instances, algorithm, priority
         )
@@ -524,20 +559,35 @@ class BatchRunner:
                 self.use_pool and workers >= 1 and len(payloads) > 0
             )
         if pooled:
-            raw = self._run_pool(
+            chunk_results = self._run_pool(
                 payloads, max(1, workers), executor=executor
             )
-            raw = [r for chunk in raw for r in chunk]
+            raw = []
+            for chunk in chunk_results:
+                raw.extend(chunk["records"])
+                # Fold the worker's counter delta into this process's
+                # registry: totals are preserved exactly across the
+                # pool boundary.
+                _METRICS.merge_counter_state(chunk["metrics"])
         else:
             raw = [_solve_one(p) for p in payloads]
         raw += batched_raw
         records = tuple(
             BatchRecord(**r) for r in sorted(raw, key=lambda r: r["index"])
         )
+        tiers: Dict[str, int] = {}
+        for r in records:
+            if r.kernel_tier is not None:
+                tiers[r.kernel_tier] = tiers.get(r.kernel_tier, 0) + 1
+        for tier, count in sorted(tiers.items()):
+            _KERNEL_TIER.labels(tier).inc(count)
         return BatchResult(
             records=records,
             workers=workers,
             wall_time=time.perf_counter() - t0,
+            metrics=flatten_counters(
+                _METRICS.counters_since(metrics_before)
+            ),
         )
 
     def _run_batched(
@@ -599,6 +649,7 @@ class BatchRunner:
                 lp_backend=self.lp_backend,
             )
         except Exception:
+            _BK_FALLBACK.inc()
             return none
         per = (time.perf_counter() - t0) / len(group)
         raw = [
@@ -615,23 +666,31 @@ class BatchRunner:
         payloads,
         workers: int,
         executor: Optional[Executor] = None,
-    ) -> List[List[Dict[str, Any]]]:
+    ) -> List[Dict[str, Any]]:
         size = self.resolved_chunksize(len(payloads), workers)
         chunks = [
             payloads[k:k + size] for k in range(0, len(payloads), size)
         ]
         pending_cap = max(1, self.max_pending // size)
-        if executor is not None:
-            # Caller-owned pool (service broker): use, never shut down.
-            return self._drain_pool(executor, chunks, pending_cap)
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return self._drain_pool(pool, chunks, pending_cap)
+        with obs_trace.span(
+            "pool.dispatch",
+            chunks=len(chunks),
+            chunksize=size,
+            workers=workers,
+        ):
+            obs_trace.add("pool_chunks", len(chunks))
+            if executor is not None:
+                # Caller-owned pool (service broker): use, never shut
+                # down.
+                return self._drain_pool(executor, chunks, pending_cap)
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                return self._drain_pool(pool, chunks, pending_cap)
 
     @staticmethod
     def _drain_pool(
         pool: Executor, chunks, pending_cap: int
-    ) -> List[List[Dict[str, Any]]]:
-        raw: List[List[Dict[str, Any]]] = []
+    ) -> List[Dict[str, Any]]:
+        raw: List[Dict[str, Any]] = []
         todo = list(reversed(chunks))
         pending = {}
         while todo or pending:
@@ -641,9 +700,12 @@ class BatchRunner:
                     fut = pool.submit(_solve_chunk, chunk)
                 except Exception as exc:
                     # e.g. a broken pool: record, don't crash the run.
-                    raw.append(
-                        [_pool_error_record(p, exc) for p in chunk]
-                    )
+                    raw.append({
+                        "records": [
+                            _pool_error_record(p, exc) for p in chunk
+                        ],
+                        "metrics": {},
+                    })
                     continue
                 pending[fut] = chunk
             if not pending:
@@ -662,9 +724,12 @@ class BatchRunner:
                     # of it in this process — a crash-inducing
                     # instance must never be given a chance to take
                     # the parent down with it.
-                    raw.append(
-                        [_pool_error_record(p, exc) for p in chunk]
-                    )
+                    raw.append({
+                        "records": [
+                            _pool_error_record(p, exc) for p in chunk
+                        ],
+                        "metrics": {},
+                    })
         return raw
 
 
@@ -771,10 +836,12 @@ def read_jsonl(
             data = json.loads(line)
         except ValueError:
             if lineno == len(lines):
-                warnings.warn(
+                obs_log.warn(
                     f"{path}:{lineno}: dropping truncated final record "
                     "(writer was likely killed mid-append)",
-                    stacklevel=2,
+                    logger=obs_log.get_logger("engine"),
+                    path=str(path),
+                    lineno=lineno,
                 )
                 continue
             raise ValueError(
@@ -793,7 +860,13 @@ def read_jsonl(
                 f"..{SCHEMA_VERSION})"
             )
             if on_unknown_version == "skip":
-                warnings.warn(msg, stacklevel=2)
+                obs_log.warn(
+                    msg,
+                    logger=obs_log.get_logger("engine"),
+                    path=str(path),
+                    lineno=lineno,
+                    schema_version=version,
+                )
                 continue
             raise ValueError(msg)
         missing = [k for k in _REQUIRED_FIELDS if k not in data]

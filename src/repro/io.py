@@ -146,13 +146,13 @@ def dict_to_instance(data: Dict[str, Any]) -> Instance:
        The name broke the module's ``X_to_dict``/``X_from_dict``
        naming symmetry; it will be removed in 2.0.
     """
-    import warnings
+    from .obs import log as obs_log
 
-    warnings.warn(
+    obs_log.warn(
         "repro.io.dict_to_instance is deprecated; "
         "use repro.io.instance_from_dict instead",
-        DeprecationWarning,
-        stacklevel=2,
+        category=DeprecationWarning,
+        logger=obs_log.get_logger("io"),
     )
     return instance_from_dict(data)
 

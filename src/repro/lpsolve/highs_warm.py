@@ -30,6 +30,8 @@ from typing import Optional
 
 import numpy as np
 
+from ..obs import trace as obs_trace
+from ..obs.metrics import REGISTRY as _METRICS
 from .model import LpError, LpSolution, LpStatus
 
 try:  # pragma: no cover - availability depends on the SciPy build
@@ -40,6 +42,17 @@ except ImportError:  # pragma: no cover
 __all__ = ["WarmUbModel", "warm_capable"]
 
 _INF = float("inf")
+
+_PIVOTS = _METRICS.counter(
+    "repro_solver_lp_pivots_total",
+    "LP pivots/iterations by backend",
+    ("backend",),
+)
+_WARM = _METRICS.counter(
+    "repro_solver_warm_starts_total",
+    "LP solves that started from a previous basis/model",
+    ("backend",),
+)
 
 
 def warm_capable() -> bool:
@@ -149,6 +162,7 @@ class WarmUbModel:
         """Run the solver; warm from the previous basis after the first
         call.  Raises :class:`LpError` on infeasible/unbounded models."""
         h = self._h
+        warm = self._solved_once
         h.run()
         status = h.getModelStatus()
         Status = _highs_core.HighsModelStatus
@@ -166,14 +180,18 @@ class WarmUbModel:
             h.setOptionValue("presolve", "off")
             self._solved_once = True
         sol = h.getSolution()
+        iterations = int(h.getInfoValue("simplex_iteration_count")[1])
+        obs_trace.add("lp_pivots", iterations)
+        _PIVOTS.labels("highs-warm").inc(iterations)
+        if warm:
+            obs_trace.add("warm_starts", 1)
+            _WARM.labels("highs-warm").inc()
         return LpSolution(
             status=LpStatus.OPTIMAL,
             objective=float(h.getObjectiveValue()),
             values=tuple(float(v) for v in sol.col_value),
             backend="highs-warm",
-            iterations=int(
-                h.getInfoValue("simplex_iteration_count")[1]
-            ),
+            iterations=iterations,
         )
 
     @property

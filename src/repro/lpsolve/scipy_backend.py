@@ -20,6 +20,8 @@ try:  # pragma: no cover - import guard exercised implicitly
 except ImportError as _exc:  # pragma: no cover
     raise ImportError("scipy is not available") from _exc
 
+from ..obs import trace as obs_trace
+from ..obs.metrics import REGISTRY as _METRICS
 from .model import LinearProgram, LpError, LpSolution, LpStatus
 
 __all__ = [
@@ -28,6 +30,12 @@ __all__ = [
     "solve_ub_arrays",
     "solve_ub_blocks",
 ]
+
+_PIVOTS = _METRICS.counter(
+    "repro_solver_lp_pivots_total",
+    "LP pivots/iterations by backend",
+    ("backend",),
+)
 
 
 def _solution_from_linprog(res) -> LpSolution:
@@ -38,12 +46,15 @@ def _solution_from_linprog(res) -> LpSolution:
         raise LpError(LpStatus.UNBOUNDED)
     if not res.success:  # pragma: no cover - solver-internal failures
         raise LpError(f"scipy/highs failed: {res.message}")
+    iterations = int(getattr(res, "nit", 0) or 0)
+    obs_trace.add("lp_pivots", iterations)
+    _PIVOTS.labels("scipy").inc(iterations)
     return LpSolution(
         status=LpStatus.OPTIMAL,
         objective=float(res.fun),
         values=tuple(float(v) for v in res.x),
         backend="scipy",
-        iterations=int(getattr(res, "nit", 0) or 0),
+        iterations=iterations,
     )
 
 

@@ -28,11 +28,24 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs import trace as obs_trace
+from ..obs.metrics import REGISTRY as _METRICS
 from .model import LinearProgram, LpError, LpSolution, LpStatus
 
 __all__ = ["solve_with_simplex"]
 
 _TOL = 1e-9
+
+_PIVOTS = _METRICS.counter(
+    "repro_solver_lp_pivots_total",
+    "LP pivots/iterations by backend",
+    ("backend",),
+)
+_WARM = _METRICS.counter(
+    "repro_solver_warm_starts_total",
+    "LP solves that started from a previous basis/model",
+    ("backend",),
+)
 
 
 def solve_with_simplex(
@@ -54,6 +67,22 @@ def solve_with_simplex(
     previous vertex; when it is not (or the shapes do not match), the
     solver silently falls back to the cold two-phase start.
     """
+    with obs_trace.span(
+        "simplex", n_variables=lp.n_variables, warm=warm_basis is not None
+    ):
+        sol = _solve_simplex(lp, max_iterations, warm_basis)
+        obs_trace.add("lp_pivots", sol.iterations)
+    _PIVOTS.labels("simplex").inc(sol.iterations)
+    if warm_basis is not None:
+        _WARM.labels("simplex").inc()
+    return sol
+
+
+def _solve_simplex(
+    lp: LinearProgram,
+    max_iterations: int = 0,
+    warm_basis: Optional[Sequence[int]] = None,
+) -> LpSolution:
     n = lp.n_variables
     obj = np.asarray(lp.objective_coefficients, dtype=float)
     lo = np.array([b[0] for b in lp.bounds], dtype=float)

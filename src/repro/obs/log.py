@@ -1,0 +1,122 @@
+"""Structured logging for the repro stack (stdlib ``logging`` only).
+
+Library code logs through :func:`get_logger` (children of the
+``"repro"`` logger, which carries a ``NullHandler`` so an unconfigured
+process emits nothing extra).  Daemons call :func:`configure` —
+``repro serve --log-json`` turns on the JSON-lines formatter so logs
+are machine-parseable one-object-per-line.
+
+:func:`warn` is the bridge for the pre-existing ``warnings.warn``
+call sites (``read_jsonl``'s truncated-final-record guard, the
+``dict_to_instance`` deprecation): it emits the warning through
+:mod:`warnings` exactly as before (so ``pytest.warns`` and user
+filters keep working) *and* mirrors it as a structured WARNING record
+with the extra fields attached, so a daemon's log stream captures it.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+import warnings
+from typing import IO, Optional
+
+__all__ = ["JsonLinesFormatter", "configure", "get_logger", "warn"]
+
+ROOT_NAME = "repro"
+
+_root = logging.getLogger(ROOT_NAME)
+if not any(isinstance(h, logging.NullHandler) for h in _root.handlers):
+    _root.addHandler(logging.NullHandler())
+
+#: Attributes every LogRecord has; anything else came in via ``extra``.
+_STD_ATTRS = frozenset(
+    logging.LogRecord("", 0, "", 0, "", (), None).__dict__
+) | {"message", "asctime", "taskName"}
+
+
+class JsonLinesFormatter(logging.Formatter):
+    """One JSON object per line: ts, level, logger, msg + extras."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "time": time.strftime(
+                "%Y-%m-%dT%H:%M:%S", time.gmtime(record.created)
+            ) + f".{int(record.msecs):03d}Z",
+            "level": record.levelname,
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key in _STD_ATTRS or key.startswith("_"):
+                continue
+            try:
+                json.dumps(value)
+            except (TypeError, ValueError):
+                value = repr(value)
+            payload[key] = value
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True)
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A child of the ``repro`` logger (``get_logger("engine")`` →
+    ``repro.engine``)."""
+    if not name or name == ROOT_NAME:
+        return _root
+    if name.startswith(ROOT_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_NAME}.{name}")
+
+
+def configure(
+    json_lines: bool = False,
+    level: int = logging.INFO,
+    stream: Optional[IO[str]] = None,
+) -> logging.Logger:
+    """Attach a stream handler to the ``repro`` logger (idempotent:
+    replaces any handler a previous ``configure`` attached)."""
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    if json_lines:
+        handler.setFormatter(JsonLinesFormatter())
+    else:
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(levelname)s %(name)s %(message)s")
+        )
+    handler._repro_obs_handler = True  # type: ignore[attr-defined]
+    for old in list(_root.handlers):
+        if getattr(old, "_repro_obs_handler", False):
+            _root.removeHandler(old)
+    _root.addHandler(handler)
+    _root.setLevel(level)
+    _root.propagate = False
+    return _root
+
+
+def warn(
+    message: str,
+    *,
+    category: type = UserWarning,
+    logger: Optional[logging.Logger] = None,
+    stacklevel: int = 3,
+    **fields: object,
+) -> None:
+    """``warnings.warn`` + a mirrored structured WARNING log record.
+
+    ``stacklevel`` defaults to 3 so the warning points at the caller
+    of the library function that invoked :func:`warn` (one hop above
+    this helper), matching what the inlined ``warnings.warn(...,
+    stacklevel=2)`` call sites reported before.
+    """
+    warnings.warn(message, category, stacklevel=stacklevel)
+    log = logger if logger is not None else _root
+    extra = {"category": category.__name__}
+    for key, value in fields.items():
+        # LogRecord reserves names like ``lineno`` and ``module``;
+        # structured fields that collide get a ``field_`` prefix.
+        extra[f"field_{key}" if key in _STD_ATTRS else key] = value
+    log.warning(message, extra=extra)

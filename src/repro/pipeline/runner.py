@@ -36,10 +36,22 @@ import time
 from typing import Optional
 
 from ..core.instance import Instance
+from ..obs import trace as obs_trace
+from ..obs.metrics import REGISTRY as _METRICS
 from .base import SolveReport
 from .registry import StrategyInfo, get_allotment, get_phase2
 
 __all__ = ["SchedulingPipeline", "solve"]
+
+_SOLVES = _METRICS.counter(
+    "repro_solver_solves_total",
+    "Pipeline solves completed, by allotment strategy",
+    ("algorithm",),
+)
+_SOLVE_SECONDS = _METRICS.histogram(
+    "repro_solver_solve_seconds",
+    "End-to-end pipeline solve wall time (both stages)",
+)
 
 
 class SchedulingPipeline:
@@ -107,15 +119,29 @@ class SchedulingPipeline:
         OPT: the one the allotment stage produced when it solved an LP,
         the combinatorial ``max(L_min, W_min/m)`` otherwise.
         """
-        t0 = time.perf_counter()
-        allot = self._allotment_stage.fn(
-            instance, rho=self.rho, mu=self.mu, lp_backend=self.lp_backend
-        )
-        t1 = time.perf_counter()
-        schedule = self._phase2_stage.fn(
-            instance, allot.allotment, mu=allot.mu
-        )
-        t2 = time.perf_counter()
+        with obs_trace.span(
+            "solve",
+            algorithm=self.algorithm,
+            priority=self.priority,
+            n=instance.n_tasks,
+            m=instance.m,
+        ):
+            t0 = time.perf_counter()
+            with obs_trace.span("phase1.allot", algorithm=self.algorithm):
+                allot = self._allotment_stage.fn(
+                    instance,
+                    rho=self.rho,
+                    mu=self.mu,
+                    lp_backend=self.lp_backend,
+                )
+            t1 = time.perf_counter()
+            with obs_trace.span("phase2.list", priority=self.priority):
+                schedule = self._phase2_stage.fn(
+                    instance, allot.allotment, mu=allot.mu
+                )
+            t2 = time.perf_counter()
+        _SOLVES.labels(self.algorithm).inc()
+        _SOLVE_SECONDS.observe(t2 - t0)
         lower = (
             allot.lower_bound
             if allot.lower_bound is not None

@@ -307,9 +307,11 @@ def run_chaos(
                 priority=priority,
                 deadline_ms=deadline_ms,
                 retry=retry,
-                faults_fired=handle.service.faults.fired(),
+                faults_fired=handle.service.fault_tally(),
             )
             # The tally above was snapshotted before the last responses
-            # were necessarily written; re-read the final counts.
-            report.faults_fired = handle.service.faults.fired()
+            # were necessarily written; re-read the final counts — off
+            # the ``repro_faults_fired_total`` metric family, the same
+            # source attach mode reads via ``/stats``.
+            report.faults_fired = handle.service.fault_tally()
     return report

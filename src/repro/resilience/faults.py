@@ -366,6 +366,13 @@ class FaultClock:
                 for (site, kind), n in sorted(self._fires.items())
             }
 
+    def fired_pairs(self) -> Dict[Tuple[str, str], int]:
+        """``{(site, kind): count}`` of everything injected so far —
+        the structured form behind :meth:`fired`, consumed by the
+        metrics collector that exposes ``repro_faults_fired_total``."""
+        with self._lock:
+            return dict(sorted(self._fires.items()))
+
     def total_fired(self) -> int:
         """Total number of injected faults so far."""
         with self._lock:

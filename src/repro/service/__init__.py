@@ -29,7 +29,7 @@ quickstart.
 
 from .broker import DEFAULT_HOST, DEFAULT_PORT, SolverService
 from .cache import CacheKey, ResultCache
-from .client import ServiceClient, ServiceError
+from .client import ServiceClient, ServiceError, ServiceResponse
 from .harness import ServiceHandle, serve_in_thread
 
 __all__ = [
@@ -39,6 +39,7 @@ __all__ = [
     "ResultCache",
     "ServiceClient",
     "ServiceError",
+    "ServiceResponse",
     "ServiceHandle",
     "SolverService",
     "serve_in_thread",

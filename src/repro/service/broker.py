@@ -29,8 +29,18 @@ balancer health check — can talk to it:
   the parent's schedule attached;
 * ``GET /stats`` → request counters + cache counters + resilience
   counters (breaker state, shed requests, injected faults);
+* ``GET /metrics`` → the same counters in Prometheus text exposition
+  format: the service's own registry (``repro_service_*``,
+  ``repro_faults_*``) concatenated with the process-wide solver
+  registry (``repro_solver_*``, ``repro_client_*``);
 * ``GET /healthz`` → liveness probe;
 * ``POST /shutdown`` → graceful stop (used by tests and the CLI).
+
+Every request-level count is a family in a **per-service**
+:class:`repro.obs.MetricsRegistry` (so two services in one test
+process never share counts), and ``/stats`` reads its numbers back
+from those same families — the JSON payload and a ``/metrics`` scrape
+can never disagree.
 
 Request keying: ``(instance.content_key(), algorithm, priority)`` with
 canonical strategy names, so aliases, task labels, edge input order and
@@ -106,6 +116,11 @@ from ..io import (
     schedule_from_dict,
     schedule_to_dict,
 )
+from ..obs.metrics import (
+    REGISTRY as _CORE_METRICS,
+    MetricsRegistry,
+    render_registries,
+)
 from ..pipeline import UnknownStrategyError, canonical_strategy_pair
 from ..resilience import (
     CircuitBreaker,
@@ -143,6 +158,20 @@ _CODE_STATUS = {
     "overloaded": 503,
     "shutting_down": 503,
 }
+
+
+class _TextBody:
+    """A non-JSON response body (the ``/metrics`` exposition)."""
+
+    __slots__ = ("text", "content_type")
+
+    def __init__(
+        self,
+        text: str,
+        content_type: str = "text/plain; version=0.0.4; charset=utf-8",
+    ):
+        self.text = text
+        self.content_type = content_type
 
 
 class _BadRequest(ValueError):
@@ -270,7 +299,6 @@ class SolverService:
         self._pool: Optional[Executor] = None
         self._pool_lock = threading.Lock()
         self._pool_generation = 0
-        self._pool_restarts = 0
         self._solve_threads: Optional[ThreadPoolExecutor] = None
         self._aux_threads: Optional[ThreadPoolExecutor] = None
         self._inflight: Dict[CacheKey, "asyncio.Future[_Outcome]"] = {}
@@ -281,18 +309,52 @@ class SolverService:
         self._started_at = time.monotonic()
         self.port: Optional[int] = None
         self.host: Optional[str] = None
-        # Request counters (loop-confined: mutated only on the loop).
-        self._n_requests = 0
-        self._n_solved = 0
-        self._n_deduped = 0
-        self._n_errors = 0
-        self._n_shed_deadline = 0
-        self._n_shed_overload = 0
+        # Request-level metrics live in a per-service registry (family
+        # children carry their own locks, so solve threads and the
+        # loop mutate them directly); ``/stats`` reads the same
+        # families back, and ``GET /metrics`` renders this registry
+        # next to the process-wide solver one.
+        self.metrics = MetricsRegistry()
+        self._m_requests = self.metrics.counter(
+            "repro_service_requests_total",
+            "HTTP requests dispatched (all endpoints)",
+        )
+        self._m_solved = self.metrics.counter(
+            "repro_service_solved_total",
+            "Cache-miss solves completed by this service",
+        )
+        self._m_deduped = self.metrics.counter(
+            "repro_service_deduped_total",
+            "Requests answered by an identical in-flight solve",
+        )
+        self._m_errors = self.metrics.counter(
+            "repro_service_errors_total",
+            "Requests answered with a typed error payload",
+        )
+        self._m_shed = self.metrics.counter(
+            "repro_service_shed_total",
+            "Requests shed by resilience policies, by reason",
+            ("reason",),
+        )
+        self._m_degraded = self.metrics.counter(
+            "repro_service_degraded_solves_total",
+            "Solves run in-process because the circuit breaker was open",
+        )
+        self._m_pool_restarts = self.metrics.counter(
+            "repro_service_pool_restarts_total",
+            "Broken process pools detected and replaced",
+        )
+        self._m_kernel_tier = self.metrics.counter(
+            "repro_service_kernel_tier_total",
+            "Solves served, by engine kernel tier",
+            ("tier",),
+        )
+        self._m_solve_seconds = self.metrics.histogram(
+            "repro_service_solve_seconds",
+            "Wall time of cache-miss solves (as recorded by the leader)",
+        )
         self._avg_solve_s: Optional[float] = None
-        # Counters mutated from solve threads get their own lock.
-        self._tier_counts: Dict[str, int] = {}
-        self._tier_lock = threading.Lock()
-        self._n_degraded = 0
+        self.metrics.register_collector(self._collect_runtime)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -512,7 +574,7 @@ class SolverService:
     async def _write_response(
         writer: asyncio.StreamWriter,
         status: int,
-        payload: Dict[str, Any],
+        payload: Union[Dict[str, Any], _TextBody],
         keep_alive: bool,
         fault: Optional[FaultSpec] = None,
     ) -> bool:
@@ -536,15 +598,21 @@ class SolverService:
         if fault is not None and fault.kind == "socket_reset":
             writer.transport.abort()
             return False
-        body = json.dumps(payload).encode()
+        if isinstance(payload, _TextBody):
+            body = payload.text.encode()
+            content_type = payload.content_type
+            retry_after = None
+        else:
+            body = json.dumps(payload).encode()
+            content_type = "application/json"
+            retry_after = payload.get("retry_after_s")
         digest = hashlib.sha256(body).hexdigest()
         extra = ""
-        retry_after = payload.get("retry_after_s")
         if isinstance(retry_after, (int, float)):
             extra = f"Retry-After: {retry_after:.2f}\r\n"
         head = (
             f"HTTP/1.1 {status} {reasons.get(status, 'Unknown')}\r\n"
-            "Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"X-Repro-Digest: sha256-{digest}\r\n"
             f"{extra}"
@@ -574,8 +642,8 @@ class SolverService:
         path: str,
         headers: Dict[str, str],
         body: bytes,
-    ) -> Tuple[int, Dict[str, Any]]:
-        self._n_requests += 1
+    ) -> Tuple[int, Union[Dict[str, Any], _TextBody]]:
+        self._m_requests.inc()
         if path == "/healthz":
             if method != "GET":
                 return 405, self._error("use GET /healthz", "method_not_allowed")
@@ -584,6 +652,12 @@ class SolverService:
             if method != "GET":
                 return 405, self._error("use GET /stats", "method_not_allowed")
             return 200, self.stats()
+        if path == "/metrics":
+            if method != "GET":
+                return 405, self._error("use GET /metrics", "method_not_allowed")
+            return 200, _TextBody(
+                render_registries(self.metrics, _CORE_METRICS)
+            )
         if path == "/shutdown":
             if method != "POST":
                 return 405, self._error("use POST /shutdown", "method_not_allowed")
@@ -597,12 +671,12 @@ class SolverService:
             try:
                 data = json.loads(body.decode())
             except (UnicodeDecodeError, ValueError):
-                self._n_errors += 1
+                self._m_errors.inc()
                 return 400, self._error(
                     "request body is not valid JSON", "bad_request"
                 )
             if not isinstance(data, dict):
-                self._n_errors += 1
+                self._m_errors.inc()
                 return 400, self._error(
                     "request body must be a JSON object", "bad_request"
                 )
@@ -611,14 +685,14 @@ class SolverService:
             try:
                 deadline = self._request_deadline(headers)
             except ValueError as exc:
-                self._n_errors += 1
+                self._m_errors.inc()
                 return 400, self._error(str(exc), "bad_request")
             if path == "/solve":
                 return await self._handle_solve(data, deadline)
             return await self._handle_replan(data, deadline)
         return 404, self._error(
             f"unknown path {path!r}; known: /solve /evolve /replan "
-            "/stats /healthz /shutdown",
+            "/stats /metrics /healthz /shutdown",
             "not_found",
         )
 
@@ -655,7 +729,7 @@ class SolverService:
         loop = asyncio.get_running_loop()
         inst_data = data.get("instance")
         if inst_data is None:
-            self._n_errors += 1
+            self._m_errors.inc()
             return 400, self._error("missing 'instance' field", "bad_request")
         try:
             # Parsing + content hashing can be expensive for large
@@ -667,7 +741,7 @@ class SolverService:
         except Exception as exc:
             # The payload is untrusted wire input: *any* parse failure
             # is the client's 400, never a dead connection.
-            self._n_errors += 1
+            self._m_errors.inc()
             return 400, self._error(
                 f"invalid instance: {type(exc).__name__}: {exc}",
                 "invalid_instance",
@@ -675,7 +749,7 @@ class SolverService:
         try:
             algorithm, priority = self._request_strategies(data)
         except (UnknownStrategyError, ValueError) as exc:
-            self._n_errors += 1
+            self._m_errors.inc()
             return 400, self._error(str(exc), "unknown_strategy")
         return await self._solve_keyed(
             instance, instance_key, algorithm, priority, deadline
@@ -724,8 +798,8 @@ class SolverService:
         if cached is not None:
             return 200, {**cached, "cached": True, "deduped": False}
         if deadline is not None and deadline.expired():
-            self._n_shed_deadline += 1
-            self._n_errors += 1
+            self._m_shed.labels("deadline").inc()
+            self._m_errors.inc()
             return 504, self._error(
                 "deadline budget exhausted before solving began",
                 "deadline_exceeded",
@@ -740,12 +814,12 @@ class SolverService:
             # for the leader.  shield() so one waiter's disconnect (or
             # deadline) cannot cancel the shared future under everyone
             # else.
-            self._n_deduped += 1
+            self._m_deduped.inc()
             try:
                 status, value = await self._await_outcome(fut, deadline)
             except asyncio.TimeoutError:
-                self._n_shed_deadline += 1
-                self._n_errors += 1
+                self._m_shed.labels("deadline").inc()
+                self._m_errors.inc()
                 return 504, self._error(
                     "deadline exceeded waiting for an identical "
                     "in-flight solve",
@@ -773,8 +847,8 @@ class SolverService:
             # Admission control: answering 503-with-a-hint now beats
             # queueing into a latency cliff.  Hits and waiters above
             # are unaffected — only *new* solve work is shed.
-            self._n_shed_overload += 1
-            self._n_errors += 1
+            self._m_shed.labels("overload").inc()
+            self._m_errors.inc()
             payload = self._error(
                 f"solve queue full ({self.max_queue_depth} in flight); "
                 "retry after the hint",
@@ -796,8 +870,8 @@ class SolverService:
         try:
             status, value = await self._await_outcome(fut, deadline)
         except asyncio.TimeoutError:
-            self._n_shed_deadline += 1
-            self._n_errors += 1
+            self._m_shed.labels("deadline").inc()
+            self._m_errors.inc()
             return 504, self._error(
                 "deadline exceeded while solving; the solve continues "
                 "and will be cached",
@@ -822,7 +896,7 @@ class SolverService:
 
     def _error_response(self, value) -> Tuple[int, Dict[str, Any]]:
         """HTTP response for an ``("error", (code, message))`` outcome."""
-        self._n_errors += 1
+        self._m_errors.inc()
         if isinstance(value, tuple):
             code, message = value
         else:  # pre-typed outcome shape (defensive)
@@ -862,9 +936,10 @@ class SolverService:
             if outcome[0] == "ok":
                 assert isinstance(outcome[1], dict)
                 await self._cache_put(key, outcome[1])
-                self._n_solved += 1
+                self._m_solved.inc()
                 wall = outcome[1].get("solve_wall_time")
                 if isinstance(wall, (int, float)):
+                    self._m_solve_seconds.observe(wall)
                     self._avg_solve_s = (
                         wall
                         if self._avg_solve_s is None
@@ -915,7 +990,7 @@ class SolverService:
                 self._aux_threads, self._parse_evolution, data
             )
         except Exception as exc:
-            self._n_errors += 1
+            self._m_errors.inc()
             return 400, self._error(
                 f"invalid evolution: {type(exc).__name__}: {exc}",
                 "invalid_evolution",
@@ -948,7 +1023,7 @@ class SolverService:
                 self._aux_threads, self._parse_evolution, data
             )
         except Exception as exc:
-            self._n_errors += 1
+            self._m_errors.inc()
             return 400, self._error(
                 f"invalid evolution: {type(exc).__name__}: {exc}",
                 "invalid_evolution",
@@ -957,7 +1032,7 @@ class SolverService:
         try:
             algorithm, priority = self._request_strategies(data)
         except (UnknownStrategyError, ValueError) as exc:
-            self._n_errors += 1
+            self._m_errors.inc()
             return 400, self._error(str(exc), "unknown_strategy")
         status, parent_payload = await self._solve_keyed(
             parent, delta.parent_key, algorithm, priority, deadline
@@ -1077,8 +1152,7 @@ class SolverService:
                 # Breaker open: degrade to in-process solving rather
                 # than feed work to a pool that keeps dying.
                 pool = None
-                with self._tier_lock:
-                    self._n_degraded += 1
+                self._m_degraded.inc()
             elif pool is not None and self.breaker.state != "closed":
                 probing = True
             runner = BatchRunner(
@@ -1095,10 +1169,7 @@ class SolverService:
                 if pool is not None and probing:
                     self.breaker.record_success()
                 if rec.kernel_tier is not None:
-                    with self._tier_lock:
-                        self._tier_counts[rec.kernel_tier] = (
-                            self._tier_counts.get(rec.kernel_tier, 0) + 1
-                        )
+                    self._m_kernel_tier.labels(rec.kernel_tier).inc()
                 break
             if pool is None or POOL_FAILURE_PREFIX not in (
                 rec.error or ""
@@ -1156,7 +1227,7 @@ class SolverService:
                 broken = self._pool
                 self._pool = _warmed_pool(self.workers)
                 self._pool_generation += 1
-                self._pool_restarts += 1
+                self._m_pool_restarts.inc()
                 swapped = True
         if swapped:
             self.breaker.record_failure()
@@ -1165,35 +1236,100 @@ class SolverService:
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
+    def _collect_runtime(self):
+        """Scrape-time collector: externally-owned state (uptime, the
+        in-flight map, cache counters, fault tallies) surfaced as
+        virtual metric families without double bookkeeping."""
+        cache = self.cache.stats()
+        yield (
+            "repro_service_uptime_seconds", "gauge",
+            "Seconds since the service object was created",
+            [({}, time.monotonic() - self._started_at)],
+        )
+        yield (
+            "repro_service_inflight", "gauge",
+            "Solve leaders currently in flight",
+            [({}, float(len(self._inflight)))],
+        )
+        yield (
+            "repro_service_cache_lookups_total", "counter",
+            "Result-cache lookups, by outcome",
+            [({"outcome": "hit"}, float(cache["hits"])),
+             ({"outcome": "miss"}, float(cache["misses"]))],
+        )
+        yield (
+            "repro_service_cache_evictions_total", "counter",
+            "Memory-tier LRU evictions",
+            [({}, float(cache["evictions"]))],
+        )
+        yield (
+            "repro_service_cache_spill_total", "counter",
+            "Disk spill-tier activity, by kind",
+            [({"kind": "write"}, float(cache["spill_writes"])),
+             ({"kind": "hit"}, float(cache["spill_hits"]))],
+        )
+        yield (
+            "repro_service_cache_size", "gauge",
+            "Entries resident in the cache's memory tier",
+            [({}, float(cache["size"]))],
+        )
+        yield (
+            "repro_faults_fired_total", "counter",
+            "Deterministically injected faults, by seam site and kind",
+            [({"site": site, "kind": kind}, float(n))
+             for (site, kind), n in self.faults.fired_pairs().items()],
+        )
+
+    def fault_tally(self) -> Dict[str, int]:
+        """``{"site:kind": count}`` of injected faults, read back from
+        the ``repro_faults_fired_total`` metric family — the same
+        family a ``/metrics`` scrape serves, so the self-contained
+        chaos harness and ``repro chaos --attach`` (which reads the
+        tally off ``/stats``) report identical numbers."""
+        values = self.metrics.family_values("repro_faults_fired_total")
+        return {
+            f"{site}:{kind}": int(n)
+            for (site, kind), n in sorted(values.items())
+        }
+
     def stats(self) -> Dict[str, Any]:
-        """Daemon counters + cache counters (the ``/stats`` payload)."""
-        with self._tier_lock:
-            tiers = dict(self._tier_counts)
-            degraded = self._n_degraded
+        """Daemon counters + cache counters (the ``/stats`` payload).
+
+        Every count is read back from the service's metrics registry,
+        so this JSON and a ``GET /metrics`` scrape cannot disagree.
+        """
+        tiers = {
+            key[0]: int(n)
+            for key, n in self.metrics.family_values(
+                "repro_service_kernel_tier_total"
+            ).items()
+        }
+        shed = self.metrics.family_values("repro_service_shed_total")
         return {
             "status": "ok",
             "version": __version__,
             "uptime": time.monotonic() - self._started_at,
             "workers": self.workers,
-            "pool_restarts": self._pool_restarts,
+            "pool_restarts": int(self._m_pool_restarts.value),
             "default_algorithm": self.algorithm,
             "default_priority": self.priority,
             "batch_kernel": self.batch_kernel,
-            "requests": self._n_requests,
-            "solved": self._n_solved,
-            "deduped": self._n_deduped,
-            "errors": self._n_errors,
+            "requests": int(self._m_requests.value),
+            "solved": int(self._m_solved.value),
+            "deduped": int(self._m_deduped.value),
+            "errors": int(self._m_errors.value),
             "kernel_tiers": tiers,
             "inflight": len(self._inflight),
             "cache": self.cache.stats(),
             "resilience": {
                 "max_queue_depth": self.max_queue_depth,
-                "shed_deadline": self._n_shed_deadline,
-                "shed_overload": self._n_shed_overload,
-                "degraded_solves": degraded,
+                "shed_deadline": int(shed.get(("deadline",), 0)),
+                "shed_overload": int(shed.get(("overload",), 0)),
+                "degraded_solves": int(self._m_degraded.value),
+                "avg_solve_s": self._avg_solve_s,
                 "retry_after_hint_s": self._retry_after_hint(),
                 "breaker": self.breaker.stats(),
                 "faults_armed": self.faults.armed,
-                "faults_fired": self.faults.fired(),
+                "faults_fired": self.fault_tally(),
             },
         }

@@ -41,6 +41,7 @@ from pathlib import Path
 from typing import Any, Dict, Optional, Tuple, Union
 
 from .. import __version__
+from ..obs import trace as obs_trace
 from ..resilience import FaultClock, InjectedIOError, as_clock
 
 __all__ = ["CacheKey", "ResultCache", "solve_payload"]
@@ -152,6 +153,14 @@ class ResultCache:
         *outside* the lock, so a slow spill device never stalls
         concurrent memory hits.
         """
+        with obs_trace.span("cache.lookup", spill=self.has_spill):
+            value = self._get(key)
+            obs_trace.add(
+                "cache_hits" if value is not None else "cache_misses", 1
+            )
+        return value
+
+    def _get(self, key: CacheKey) -> Optional[Dict[str, Any]]:
         with self._lock:
             value = self._data.get(key)
             if value is not None:

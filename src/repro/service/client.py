@@ -38,14 +38,31 @@ from __future__ import annotations
 import hashlib
 import http.client
 import json
+import time
 from typing import Any, Dict, List, Optional, Union
 
 from ..core.instance import Instance
 from ..io import instance_to_dict
+from ..obs import trace as obs_trace
+from ..obs.metrics import REGISTRY as _METRICS
 from ..resilience import Deadline, RetryPolicy
 from .broker import DEFAULT_HOST, DEFAULT_PORT
 
-__all__ = ["ServiceClient", "ServiceError"]
+__all__ = ["ServiceClient", "ServiceError", "ServiceResponse"]
+
+_REQUESTS = _METRICS.counter(
+    "repro_client_requests_total",
+    "Logical client requests completed, by endpoint path",
+    ("path",),
+)
+_RETRIES = _METRICS.counter(
+    "repro_client_retries_total",
+    "Extra attempts spent retrying transient failures",
+)
+_LATENCY = _METRICS.histogram(
+    "repro_client_request_seconds",
+    "Logical request latency (all attempts and backoff included)",
+)
 
 #: Typed error codes worth another attempt: the daemon is overloaded
 #: (explicitly told us when to come back), mid-shutdown (a fresh daemon
@@ -83,6 +100,23 @@ class ServiceError(RuntimeError):
         ``"deadline_exceeded"``, ...), or ``None``."""
         code = self.payload.get("code")
         return code if isinstance(code, str) else None
+
+
+class ServiceResponse(dict):
+    """A decoded daemon payload plus per-request transport metadata.
+
+    Behaves exactly like the plain dict earlier versions returned
+    (same keys, same JSON serialization) — the metadata rides on
+    attributes, not keys:
+
+    ``attempts``
+        How many attempts the logical request used (1 = no retries).
+    ``latency_s``
+        Wall time of the whole logical request, backoff included.
+    """
+
+    attempts: int = 0
+    latency_s: float = 0.0
 
 
 class ServiceClient:
@@ -244,6 +278,7 @@ class ServiceClient:
         max_attempts = self.retry.max_attempts if idempotent else 1
         attempt = 0
         self.last_attempts = 0
+        t0 = time.perf_counter()
         while True:
             self.last_attempts = attempt + 1
             headers = {"Content-Type": "application/json"}
@@ -271,7 +306,7 @@ class ServiceClient:
                 )
                 outcome = self._classify(resp.status, resp.headers, raw)
                 if not isinstance(outcome, ServiceError):
-                    return outcome
+                    return self._finish(path, outcome, attempt + 1, t0)
                 if (
                     outcome.code is not None
                     and outcome.code not in RETRYABLE_CODES
@@ -296,6 +331,22 @@ class ServiceClient:
             self.retry.sleep(
                 attempt - 1, retry_after_s=retry_after, deadline=deadline
             )
+
+    @staticmethod
+    def _finish(
+        path: str, outcome: Dict[str, Any], attempts: int, t0: float
+    ) -> "ServiceResponse":
+        """Wrap a successful payload with transport metadata and record
+        the client-side metrics for this logical request."""
+        response = ServiceResponse(outcome)
+        response.attempts = attempts
+        response.latency_s = time.perf_counter() - t0
+        _REQUESTS.labels(path).inc()
+        _LATENCY.observe(response.latency_s)
+        if attempts > 1:
+            _RETRIES.inc(attempts - 1)
+            obs_trace.add("retry_attempts", attempts - 1)
+        return response
 
     def _classify(
         self, status: int, headers, raw: bytes
